@@ -1,0 +1,1 @@
+bench/experiments.ml: Array List Mincut_congest Mincut_core Mincut_graph Mincut_mst Mincut_treepack Mincut_util Printf Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments List Microbench Mincut_util Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Mincut_core Mincut_graph Mincut_mst Mincut_treepack Mincut_util Printf Staged Test Time Toolkit Workloads

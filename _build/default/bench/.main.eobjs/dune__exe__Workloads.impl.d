@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Float Mincut_graph Mincut_util

@@ -1,0 +1,286 @@
+(* Command-line interface.
+
+     mincut generate --family torus --size 8 -o net.graph
+     mincut info net.graph
+     mincut solve net.graph --algorithm approx --epsilon 0.3
+     mincut solve --family gnp --size 256 --algorithm exact --show-side
+
+   Graphs are stored in the light DIMACS dialect of
+   [Mincut_graph.Dimacs]. *)
+
+open Cmdliner
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Dimacs = Mincut_graph.Dimacs
+module Diameter = Mincut_graph.Diameter
+module Bfs = Mincut_graph.Bfs
+module Stoer_wagner = Mincut_graph.Stoer_wagner
+module Bitset = Mincut_util.Bitset
+module Rng = Mincut_util.Rng
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+
+(* ---- graph construction -------------------------------------------- *)
+
+let make_graph ~family ~size ~seed ~weight_max =
+  let rng = Rng.create seed in
+  let weights =
+    if weight_max <= 1 then None else Some { Generators.wmin = 1; wmax = weight_max }
+  in
+  Generators.by_name ~rng ?weights ~name:family ~size ()
+
+let families = Generators.family_names
+
+(* ---- common options -------------------------------------------------- *)
+
+let family_arg =
+  let doc =
+    "Graph family to generate. One of: " ^ String.concat ", " families ^ "."
+  in
+  Arg.(value & opt (some string) None & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let size_arg =
+  let doc = "Family size parameter (nodes, side length, or dimension)." in
+  Arg.(value & opt int 64 & info [ "size" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for generators and randomized algorithms." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let weight_arg =
+  let doc = "Draw integer edge weights uniformly from 1..$(docv) (1 = unweighted)." in
+  Arg.(value & opt int 1 & info [ "weight-max" ] ~docv:"W" ~doc)
+
+let file_arg =
+  let doc = "Graph file (DIMACS dialect); omit to use --family." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let load_graph file family size seed weight_max =
+  match (file, family) with
+  | Some path, _ -> ( try Ok (Dimacs.load path) with e -> Error (Printexc.to_string e))
+  | None, Some fam -> make_graph ~family:fam ~size ~seed ~weight_max
+  | None, None -> Error "provide a graph FILE or --family"
+
+(* ---- generate -------------------------------------------------------- *)
+
+let generate_cmd =
+  let out_arg =
+    let doc = "Output path (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  let run family size seed weight_max out =
+    match make_graph ~family ~size ~seed ~weight_max with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok g -> (
+        match out with
+        | None ->
+            print_string (Dimacs.to_string g);
+            0
+        | Some path ->
+            Dimacs.save path g;
+            Printf.printf "wrote %s (n=%d, m=%d)\n" path (Graph.n g) (Graph.m g);
+            0)
+  in
+  let family_req =
+    Arg.(required & opt (some string) None & info [ "family" ] ~docv:"FAMILY"
+           ~doc:("Family: " ^ String.concat ", " families))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a benchmark graph")
+    Term.(const run $ family_req $ size_arg $ seed_arg $ weight_arg $ out_arg)
+
+(* ---- info ------------------------------------------------------------ *)
+
+let info_cmd =
+  let run file family size seed weight_max =
+    match load_graph file family size seed weight_max with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok g ->
+        Printf.printf "nodes:      %d\n" (Graph.n g);
+        Printf.printf "edges:      %d\n" (Graph.m g);
+        Printf.printf "weight:     %d\n" (Graph.total_weight g);
+        Printf.printf "connected:  %b\n" (Bfs.is_connected g);
+        if Bfs.is_connected g then begin
+          Printf.printf "diameter:   %d\n" (Diameter.estimate g);
+          let mindeg = Mincut_core.Exact.min_weighted_degree g in
+          Printf.printf "min degree: %d (upper bound on the min cut)\n" mindeg;
+          if Graph.n g <= 400 then
+            Printf.printf "min cut:    %d (Stoer-Wagner ground truth)\n"
+              (Stoer_wagner.run g).Stoer_wagner.value
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show basic statistics of a graph")
+    Term.(const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg)
+
+(* ---- solve ------------------------------------------------------------ *)
+
+let solve_cmd =
+  let algorithm_arg =
+    let doc = "Algorithm: exact, exact2 (2-respecting), approx, gk, or su." in
+    Arg.(value & opt string "exact" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let epsilon_arg =
+    let doc = "Approximation parameter for approx/gk/su." in
+    Arg.(value & opt float 0.5 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+  in
+  let trees_arg =
+    let doc = "Tree-packing budget override." in
+    Arg.(value & opt (some int) None & info [ "trees" ] ~docv:"T" ~doc)
+  in
+  let side_arg =
+    let doc = "Print the node set of the cut side." in
+    Arg.(value & flag & info [ "show-side" ] ~doc)
+  in
+  let breakdown_arg =
+    let doc = "Print the per-step round breakdown." in
+    Arg.(value & flag & info [ "breakdown" ] ~doc)
+  in
+  let check_arg =
+    let doc = "Also compute ground truth with Stoer-Wagner and compare." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let certify_arg =
+    let doc = "Run the distributed O(D)-round certification of the answer." in
+    Arg.(value & flag & info [ "certify" ] ~doc)
+  in
+  let run file family size seed weight_max algo epsilon trees show_side breakdown check certify =
+    match load_graph file family size seed weight_max with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok g -> (
+        let algorithm =
+          match algo with
+          | "exact" -> Ok Api.Exact_small_lambda
+          | "exact2" -> Ok Api.Exact_two_respect
+          | "approx" -> Ok (Api.Approx epsilon)
+          | "gk" -> Ok (Api.Ghaffari_kuhn epsilon)
+          | "su" -> Ok (Api.Su epsilon)
+          | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+        in
+        match algorithm with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok algorithm ->
+            let s = Api.min_cut ~params:Params.fast ~algorithm ~seed ?trees g in
+            Printf.printf "algorithm: %s\n" (Api.algorithm_name algorithm);
+            Printf.printf "cut value: %d\n" s.Api.value;
+            Printf.printf "rounds:    %d (simulated CONGEST)\n" s.Api.rounds;
+            Printf.printf "verified:  %b\n" (Api.verify g s);
+            if show_side then
+              Printf.printf "side:      {%s}\n"
+                (String.concat ", "
+                   (List.map string_of_int (Bitset.to_list s.Api.side)));
+            if breakdown then begin
+              print_endline "round breakdown:";
+              List.iter
+                (fun (label, rounds) -> Printf.printf "  %8d  %s\n" rounds label)
+                s.Api.breakdown
+            end;
+            if check then begin
+              let truth = (Stoer_wagner.run g).Stoer_wagner.value in
+              Printf.printf "ground truth: %d (%s)\n" truth
+                (if truth = s.Api.value then "match"
+                 else Printf.sprintf "ratio %.3f"
+                        (float_of_int s.Api.value /. float_of_int truth))
+            end;
+            if certify then begin
+              let r = Mincut_core.Certificate.certify_summary g s in
+              Printf.printf "certified: %b (recomputed %d, %d extra rounds)\n"
+                r.Mincut_core.Certificate.accepted r.Mincut_core.Certificate.recomputed
+                r.Mincut_core.Certificate.rounds
+            end;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute a minimum cut with the distributed algorithms")
+    Term.(
+      const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg
+      $ algorithm_arg $ epsilon_arg $ trees_arg $ side_arg $ breakdown_arg $ check_arg
+      $ certify_arg)
+
+(* ---- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let program_arg =
+    let doc = "Program to trace: bfs, broadcast, upcast, or mst." in
+    Arg.(value & opt string "bfs" & info [ "program" ] ~docv:"PROG" ~doc)
+  in
+  let bar width peak v =
+    if peak = 0 then ""
+    else String.make (max 0 (v * width / peak)) '#'
+  in
+  let run file family size seed weight_max prog =
+    match load_graph file family size seed weight_max with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok g -> (
+        let module P = Mincut_congest.Primitives in
+        let module N = Mincut_congest.Network in
+        let audit =
+          match prog with
+          | "bfs" ->
+              let _, _, a = P.bfs_tree_audited g ~root:0 in
+              Some a
+          | "broadcast" ->
+              let tree, _, _ = P.bfs_tree_audited g ~root:0 in
+              let _, _, a =
+                P.broadcast_items_audited g ~tree ~items:(Array.init 16 (fun i -> i))
+              in
+              Some a
+          | "upcast" ->
+              let tree, _, _ = P.bfs_tree_audited g ~root:0 in
+              let _, _, a =
+                P.upcast_distinct_audited g ~tree
+                  ~initial:(Array.init (Graph.n g) (fun v -> [ v mod 31 ]))
+              in
+              Some a
+          | "mst" ->
+              let r = Mincut_mst.Boruvka_dist.run g in
+              Printf.printf "distributed MST: %d phases, %d rounds total
+"
+                r.Mincut_mst.Boruvka_dist.phases
+                r.Mincut_mst.Boruvka_dist.cost.Mincut_congest.Cost.rounds;
+              List.iter
+                (fun (label, rounds) -> Printf.printf "  %6d  %s
+" rounds label)
+                r.Mincut_mst.Boruvka_dist.cost.Mincut_congest.Cost.breakdown;
+              None
+          | other ->
+              prerr_endline (Printf.sprintf "unknown program %S" other);
+              None
+        in
+        match audit with
+        | None -> 0
+        | Some a ->
+            Printf.printf
+              "rounds %d, messages %d, words %d, max payload %d words
+"
+              a.N.rounds a.N.total_messages a.N.total_words a.N.max_words;
+            let peak = Array.fold_left max 0 a.N.messages_per_round in
+            print_endline "per-round congestion (messages in flight):";
+            Array.iteri
+              (fun r v -> Printf.printf "  r%-3d %6d %s
+" r v (bar 40 peak v))
+              a.N.messages_per_round;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a message-level program and show its congestion profile")
+    Term.(
+      const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg $ program_arg)
+
+(* ---- main -------------------------------------------------------------- *)
+
+let () =
+  let doc = "distributed minimum cut (Nanongkai, PODC 2014) -- simulator and tools" in
+  let info = Cmd.info "mincut" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; info_cmd; solve_cmd; trace_cmd ]))

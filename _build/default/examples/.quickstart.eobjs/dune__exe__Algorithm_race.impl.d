@@ -1,0 +1,1 @@
+examples/algorithm_race.ml: List Mincut_core Mincut_graph Mincut_util Printf

@@ -1,0 +1,1 @@
+examples/failure_monitoring.ml: Hashtbl Mincut_core Mincut_graph Mincut_util

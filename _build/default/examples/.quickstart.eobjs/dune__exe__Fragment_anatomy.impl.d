@@ -1,0 +1,1 @@
+examples/fragment_anatomy.ml: Array List Mincut_core Mincut_graph Mincut_mst Printf String

@@ -1,0 +1,1 @@
+examples/network_reliability.ml: List Mincut_core Mincut_graph Mincut_util Printf

@@ -1,0 +1,1 @@
+examples/planted_partition.ml: Float List Mincut_core Mincut_graph Mincut_util Printf

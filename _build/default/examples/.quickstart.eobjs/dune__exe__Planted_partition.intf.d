@@ -1,0 +1,1 @@
+examples/planted_partition.mli:

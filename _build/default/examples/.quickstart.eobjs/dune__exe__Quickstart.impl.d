@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mincut_core Mincut_graph Mincut_util Printf String

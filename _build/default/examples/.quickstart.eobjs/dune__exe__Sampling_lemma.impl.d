@@ -1,0 +1,1 @@
+examples/sampling_lemma.ml: Array Float List Mincut_graph Mincut_util Printf

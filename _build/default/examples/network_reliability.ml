@@ -1,0 +1,86 @@
+(* Bottleneck analysis of network topologies: the minimum cut is the
+   weakest point of a network -- the smallest total link capacity whose
+   failure partitions it.  This example compares classic datacenter /
+   HPC topologies at similar size and finds each one's bottleneck.
+
+     dune exec examples/network_reliability.exe *)
+
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Bitset = Mincut_util.Bitset
+module Rng = Mincut_util.Rng
+module Api = Mincut_core.Api
+module Table = Mincut_util.Table
+
+let describe_side g side =
+  let c = Bitset.cardinal side in
+  let n = Graph.n g in
+  let size = min c (n - c) in
+  if size = 1 then "single node isolated"
+  else Printf.sprintf "%d-node group separated" size
+
+let () =
+  let t =
+    Table.create
+      ~title:"topology bottlenecks (min cut = capacity that must fail to split the network)"
+      ~columns:[ "topology"; "n"; "links"; "min cut"; "bottleneck"; "rounds" ]
+  in
+  let rng = Rng.create 7 in
+  let topologies =
+    [
+      ("ring-64", Generators.ring 64);
+      ("grid-8x8", Generators.grid 8 8);
+      ("torus-8x8", Generators.torus 8 8);
+      ("hypercube-6", Generators.hypercube 6);
+      ("random-regular-64-3", Generators.random_regular ~rng 64 3);
+      ("random-regular-64-5", Generators.random_regular ~rng 64 5);
+      ("two-pods-thin-spine", Generators.planted_cut ~rng ~n:64 ~cut_edges:3 ~p_in:0.3 ());
+      ("dumbbell-24-16", Generators.dumbbell 24 16);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let r = Api.min_cut ~params:Mincut_core.Params.fast g in
+      Table.add_row t
+        [
+          name;
+          string_of_int (Graph.n g);
+          string_of_int (Graph.m g);
+          string_of_int r.Api.value;
+          describe_side g r.Api.side;
+          string_of_int r.Api.rounds;
+        ])
+    topologies;
+  Table.print t;
+  print_endline
+    "Reading the table: the torus doubles the grid's bottleneck by closing the\n\
+     edges; the hypercube and the d-regular expanders push it to their degree;\n\
+     the thin-spine and dumbbell networks are one cable-bundle away from a\n\
+     partition regardless of how dense the pods are.\n";
+
+  (* Per-pair view: the Gomory-Hu tree answers every pairwise bottleneck
+     question with n-1 max-flow computations. *)
+  let t2 =
+    Table.create
+      ~title:"pairwise bottlenecks (Gomory-Hu tree): worst pair vs best pair"
+      ~columns:[ "topology"; "global min cut"; "best-connected pair" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let gh = Mincut_graph.Gomory_hu.build g in
+      Table.add_row t2
+        [
+          name;
+          string_of_int (Mincut_graph.Gomory_hu.global_min_cut gh);
+          string_of_int (Mincut_graph.Gomory_hu.widest_bottleneck_pairs gh);
+        ])
+    [
+      ("torus-8x8", Generators.torus 8 8);
+      ("dumbbell-12-8", Generators.dumbbell 12 8);
+      ("wheel-32", Generators.wheel 32);
+    ];
+  Table.print t2;
+  print_endline
+    "The dumbbell's pods are internally 11-connected even though the network as a\n\
+     whole splits after one failure -- exactly the situation where a global min\n\
+     cut (this paper) plus a Gomory-Hu drill-down locates the fragile span."

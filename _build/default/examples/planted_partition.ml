@@ -1,0 +1,55 @@
+(* Community splitting: when a network consists of two dense groups
+   joined by a few links, the minimum cut recovers the groups exactly --
+   the workload the paper's introduction motivates (cuts as bottlenecks
+   / community boundaries).
+
+     dune exec examples/planted_partition.exe *)
+
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Bitset = Mincut_util.Bitset
+module Rng = Mincut_util.Rng
+module Api = Mincut_core.Api
+module Table = Mincut_util.Table
+
+(* fraction of nodes whose recovered side matches the planted side
+   (up to complementation) *)
+let recovery_accuracy n side =
+  let half = n / 2 in
+  let agree = ref 0 in
+  for v = 0 to n - 1 do
+    let planted_left = v < half in
+    let recovered_left = Bitset.mem side v in
+    if planted_left = recovered_left then incr agree
+  done;
+  let a = float_of_int !agree /. float_of_int n in
+  Float.max a (1.0 -. a)
+
+let () =
+  let t =
+    Table.create ~title:"planted 2-community recovery by distributed min cut"
+      ~columns:[ "n"; "cross links"; "p_in"; "cut found"; "accuracy"; "rounds" ]
+  in
+  let rng = Rng.create 2024 in
+  List.iter
+    (fun (n, cut_edges, p_in) ->
+      let g = Generators.planted_cut ~rng ~n ~cut_edges ~p_in () in
+      let r = Api.min_cut ~params:Mincut_core.Params.fast g in
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int cut_edges;
+          Printf.sprintf "%.2f" p_in;
+          string_of_int r.Api.value;
+          Printf.sprintf "%.0f%%" (100.0 *. recovery_accuracy n r.Api.side);
+          string_of_int r.Api.rounds;
+        ])
+    [
+      (32, 1, 0.6); (32, 3, 0.6); (64, 2, 0.4); (64, 4, 0.4);
+      (128, 3, 0.3); (128, 6, 0.3); (256, 4, 0.2);
+    ];
+  Table.print t;
+  print_endline
+    "A 100% accuracy row means the min cut is exactly the planted community\n\
+     boundary; the cut value equals the number of planted cross links as long\n\
+     as the communities are internally denser than the boundary."

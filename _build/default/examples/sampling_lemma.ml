@@ -1,0 +1,69 @@
+(* Karger's sampling lemma, observed: sample every unit of capacity with
+   probability p and every cut of the skeleton lands within (1 ± eps) of
+   p times its original value -- the engine behind the paper's (1+eps)
+   reduction.  This example measures the concentration directly.
+
+     dune exec examples/sampling_lemma.exe *)
+
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Sampling = Mincut_graph.Sampling
+module Stoer_wagner = Mincut_graph.Stoer_wagner
+module Bitset = Mincut_util.Bitset
+module Rng = Mincut_util.Rng
+module Stats = Mincut_util.Stats
+module Table = Mincut_util.Table
+
+let () =
+  let rng = Rng.create 4242 in
+  (* a weighted planted graph with a fat min cut so sampling has room *)
+  let g =
+    Generators.planted_cut ~rng
+      ~weights:{ Generators.wmin = 3; wmax = 6 }
+      ~n:96 ~cut_edges:24 ~p_in:0.5 ()
+  in
+  let sw = Stoer_wagner.run g in
+  let lambda = sw.Stoer_wagner.value in
+  Printf.printf "graph: n=%d, m=%d, total capacity %d, min cut %d\n\n" (Graph.n g)
+    (Graph.m g) (Graph.total_weight g) lambda;
+
+  let t =
+    Table.create
+      ~title:
+        "skeleton concentration: rescaled min-cut estimate lambda_hat = C_H(side)/p \
+         over 20 skeletons per p"
+      ~columns:[ "p"; "mean lambda_hat"; "stddev"; "worst rel. error"; "skeleton m" ]
+  in
+  List.iter
+    (fun p ->
+      let estimates = ref [] in
+      let sizes = ref [] in
+      for _ = 1 to 20 do
+        let sk = Sampling.sample ~rng g ~p in
+        (* evaluate the TRUE min cut side in the skeleton: the lemma is a
+           statement about every fixed cut *)
+        let c_h = Graph.cut_of_bitset sk.Sampling.graph sw.Stoer_wagner.side in
+        estimates := (float_of_int c_h /. p) :: !estimates;
+        sizes := float_of_int (Graph.m sk.Sampling.graph) :: !sizes
+      done;
+      let s = Stats.summarize (Array.of_list !estimates) in
+      let worst =
+        List.fold_left
+          (fun acc e -> Float.max acc (abs_float (e -. float_of_int lambda) /. float_of_int lambda))
+          0.0 !estimates
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" p;
+          Table.fmt_float s.Stats.mean;
+          Table.fmt_float s.Stats.stddev;
+          Printf.sprintf "%.0f%%" (100.0 *. worst);
+          Table.fmt_float (Stats.mean (Array.of_list !sizes));
+        ])
+    [ 0.8; 0.6; 0.4; 0.2; 0.1; 0.05 ];
+  Table.print t;
+  print_endline
+    "Unbiased at every p (mean tracks the true cut), variance growing as p\n\
+     shrinks -- the lemma's p = Theta(log n / (eps^2 lambda)) is the smallest p\n\
+     keeping the worst error under eps, and that is exactly the probability the\n\
+     paper's reduction uses before running the exact algorithm on the skeleton."

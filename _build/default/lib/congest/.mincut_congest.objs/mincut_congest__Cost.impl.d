@@ -1,0 +1,1 @@
+lib/congest/cost.ml: Format List

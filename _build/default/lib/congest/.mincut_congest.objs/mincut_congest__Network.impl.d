@@ -1,0 +1,1 @@
+lib/congest/network.ml: Array Config Hashtbl List Mincut_graph Printf

@@ -1,0 +1,1 @@
+lib/congest/pipeline.mli:

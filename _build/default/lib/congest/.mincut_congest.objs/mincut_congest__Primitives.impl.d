@@ -1,0 +1,1 @@
+lib/congest/primitives.ml: Array Cost Int List Mincut_graph Network Set

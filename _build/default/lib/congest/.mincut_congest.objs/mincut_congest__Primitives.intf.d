@@ -1,0 +1,1 @@
+lib/congest/primitives.mli: Config Cost Mincut_graph Network

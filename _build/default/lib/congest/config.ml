@@ -1,0 +1,9 @@
+type t = { words_per_message : int; max_rounds : int }
+
+let default = { words_per_message = 4; max_rounds = 2_000_000 }
+
+let with_budget words = { default with words_per_message = words }
+
+let bits_per_word ~n =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 (max 1 (n - 1)) + 1

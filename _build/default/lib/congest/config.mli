@@ -1,0 +1,23 @@
+(** CONGEST model parameters.
+
+    In the CONGEST model [Pel00] every node sends, per synchronous round,
+    at most one message of O(log n) bits along each incident edge.  We
+    count message payloads in {e words}, where one word holds one node
+    id / weight / counter (i.e., Θ(log n) bits), and enforce a per-message
+    word budget.  The default budget of 4 words is the usual constant
+    slack that CONGEST algorithm descriptions assume when they say a
+    message carries "an edge and two fragment IDs". *)
+
+type t = {
+  words_per_message : int;  (** payload budget per message *)
+  max_rounds : int;         (** engine watchdog; exceeded = failure *)
+}
+
+val default : t
+(** 4 words, 2_000_000 rounds. *)
+
+val with_budget : int -> t
+
+val bits_per_word : n:int -> int
+(** ⌈log₂ n⌉ + 1, the "O(log n) bits" a word stands for; used by the
+    audit report (experiment T5). *)

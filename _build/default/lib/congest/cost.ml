@@ -1,0 +1,27 @@
+type t = { rounds : int; breakdown : (string * int) list }
+
+let zero = { rounds = 0; breakdown = [] }
+
+let step name rounds =
+  assert (rounds >= 0);
+  { rounds; breakdown = [ (name, rounds) ] }
+
+let ( ++ ) a b = { rounds = a.rounds + b.rounds; breakdown = a.breakdown @ b.breakdown }
+
+let par a b =
+  let winner, loser = if a.rounds >= b.rounds then (a, b) else (b, a) in
+  {
+    rounds = winner.rounds;
+    breakdown =
+      winner.breakdown
+      @ List.map (fun (name, r) -> ("(overlapped) " ^ name, r)) loser.breakdown;
+  }
+
+let sum = List.fold_left ( ++ ) zero
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>total rounds: %d" t.rounds;
+  List.iter (fun (name, r) -> Format.fprintf fmt "@ %6d  %s" r name) t.breakdown;
+  Format.fprintf fmt "@]"
+
+let to_table_rows t = t.breakdown @ [ ("total", t.rounds) ]

@@ -1,0 +1,38 @@
+(** Round-cost accounting.
+
+    Every phase of the distributed algorithms returns a [Cost.t]: the
+    number of synchronous rounds it needed, broken down by named step so
+    the benchmark harness can report where time goes (and so tests can
+    assert each step is within its paper bound).
+
+    Costs come from two sources, and the breakdown label records which:
+    - steps executed as real message-passing programs on {!Network}
+      report their measured round count;
+    - steps executed at the data level with analytic schedules (pipelined
+      broadcast/convergecast — see {!Pipeline}) report the schedule
+      length computed from measured quantities of this very execution
+      (real depths, real item counts, real per-edge loads). *)
+
+type t = {
+  rounds : int;
+  breakdown : (string * int) list;  (** in execution order *)
+}
+
+val zero : t
+
+val step : string -> int -> t
+(** A single named step. *)
+
+val ( ++ ) : t -> t -> t
+(** Sequential composition: rounds add, breakdowns concatenate. *)
+
+val par : t -> t -> t
+(** Parallel composition (steps that share rounds): max of rounds; the
+    breakdown keeps both, tagging the absorbed one. *)
+
+val sum : t list -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_table_rows : t -> (string * int) list
+(** Breakdown plus a total row. *)

@@ -1,0 +1,109 @@
+module Graph = Mincut_graph.Graph
+
+exception Model_violation of string
+
+type ('state, 'msg) program = {
+  initial : int -> 'state;
+  step :
+    node:int -> round:int -> inbox:(int * 'msg) list -> 'state -> 'state * (int * 'msg) list;
+  halted : 'state -> bool;
+}
+
+type audit = {
+  rounds : int;
+  total_messages : int;
+  total_words : int;
+  max_words : int;
+  max_edge_load : int;
+  messages_per_round : int array;
+}
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Model_violation s)) fmt
+
+type 'msg mailbox = (int * 'msg) list array
+
+let neighbor_sets g =
+  Array.init (Graph.n g) (fun v ->
+      let tbl = Hashtbl.create (Graph.degree g v) in
+      Array.iter (fun (u, _) -> Hashtbl.replace tbl u ()) (Graph.adj g v);
+      tbl)
+
+(* Shared driver.  [stop] decides termination given (round, all_halted,
+   traffic_pending). *)
+let drive ?(cfg = Config.default) ~words ~stop g prog =
+  let n = Graph.n g in
+  let neighbors = neighbor_sets g in
+  let states = Array.init n prog.initial in
+  let inboxes : _ mailbox = Array.make n [] in
+  let pending = ref false in
+  let total_messages = ref 0 in
+  let total_words = ref 0 in
+  let per_round = ref [] in
+  let max_words = ref 0 in
+  let last_traffic_round = ref (-1) in
+  let round = ref 0 in
+  let all_halted () =
+    let rec go v = v >= n || (prog.halted states.(v) && go (v + 1)) in
+    go 0
+  in
+  while not (stop ~round:!round ~all_halted:(all_halted () && not !pending)) do
+    if !round >= cfg.Config.max_rounds then
+      violation "watchdog: exceeded %d rounds" cfg.Config.max_rounds;
+    let next : _ mailbox = Array.make n [] in
+    let sent_this_round = Hashtbl.create 64 in
+    let sent_count = ref 0 in
+    pending := false;
+    for v = 0 to n - 1 do
+      if not (prog.halted states.(v)) then begin
+        let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v) in
+        let state', outs = prog.step ~node:v ~round:!round ~inbox states.(v) in
+        states.(v) <- state';
+        List.iter
+          (fun (dst, payload) ->
+            if not (Hashtbl.mem neighbors.(v) dst) then
+              violation "round %d: node %d sent to non-neighbor %d" !round v dst;
+            if Hashtbl.mem sent_this_round (v, dst) then
+              violation "round %d: node %d sent twice to %d" !round v dst;
+            Hashtbl.add sent_this_round (v, dst) ();
+            let w = words payload in
+            if w > cfg.Config.words_per_message then
+              violation "round %d: node %d message of %d words exceeds budget %d"
+                !round v w cfg.Config.words_per_message;
+            incr total_messages;
+            incr sent_count;
+            total_words := !total_words + w;
+            max_words := max !max_words w;
+            last_traffic_round := !round;
+            next.(dst) <- (v, payload) :: next.(dst);
+            pending := true)
+          outs
+      end
+    done;
+    Array.blit next 0 inboxes 0 n;
+    per_round := !sent_count :: !per_round;
+    incr round
+  done;
+  let audit =
+    {
+      rounds = !round;
+      total_messages = !total_messages;
+      total_words = !total_words;
+      max_words = !max_words;
+      max_edge_load = (if !total_messages > 0 then 1 else 0);
+      messages_per_round = Array.of_list (List.rev !per_round);
+    }
+  in
+  (states, audit, !last_traffic_round)
+
+let run ?cfg ~words g prog =
+  let states, audit, _ =
+    drive ?cfg ~words ~stop:(fun ~round:_ ~all_halted -> all_halted) g prog
+  in
+  (states, audit)
+
+let run_bounded ?cfg ~words ~rounds g prog =
+  let states, audit, last_traffic =
+    drive ?cfg ~words ~stop:(fun ~round ~all_halted:_ -> round >= rounds) g prog
+  in
+  (* effective completion time: the delivery round of the last message *)
+  (states, { audit with rounds = (if last_traffic < 0 then 0 else last_traffic + 2) })

@@ -1,0 +1,64 @@
+(** Synchronous CONGEST execution engine.
+
+    Runs a per-node program in synchronous rounds over a {!Mincut_graph.Graph.t}
+    topology: messages sent in round [r] are delivered at the start of
+    round [r+1], and the engine enforces the model's discipline —
+    messages may only be addressed to neighbors, at most one message per
+    (sender, receiver) pair per round, and each payload must fit the
+    configured word budget.  Violations raise [Model_violation]
+    immediately: an algorithm that breaks the model is a bug, not a
+    statistic.
+
+    The audit of a run (message totals, maximum payload, rounds) feeds
+    experiment T5. *)
+
+exception Model_violation of string
+
+type ('state, 'msg) program = {
+  initial : int -> 'state;
+      (** [initial v] — local state of node [v] before round 0.  A node
+          initially knows only its own id and its incident edges (the
+          engine cannot enforce that discipline; programs are written to
+          respect it and reviewed against the paper's steps). *)
+  step :
+    node:int -> round:int -> inbox:(int * 'msg) list -> 'state -> 'state * (int * 'msg) list;
+      (** One synchronous round: consume the messages delivered this
+          round (as [(sender, payload)], sorted by sender) and return the
+          new state plus outgoing [(neighbor, payload)] messages. *)
+  halted : 'state -> bool;
+      (** Halted nodes no longer step; messages sent to them are
+          dropped.  The engine stops when every node has halted. *)
+}
+
+type audit = {
+  rounds : int;             (** rounds executed *)
+  total_messages : int;
+  total_words : int;
+  max_words : int;          (** largest single payload observed *)
+  max_edge_load : int;      (** max messages crossing one edge in one
+                                round, per direction; always <= 1 by
+                                construction — reported for the audit *)
+  messages_per_round : int array;
+      (** congestion profile: how many messages were in flight in each
+          executed round (length = rounds) *)
+}
+
+val run :
+  ?cfg:Config.t ->
+  words:('msg -> int) ->
+  Mincut_graph.Graph.t ->
+  ('state, 'msg) program ->
+  'state array * audit
+(** Run until all nodes halt.  Raises [Model_violation] if the watchdog
+    round limit is reached. *)
+
+val run_bounded :
+  ?cfg:Config.t ->
+  words:('msg -> int) ->
+  rounds:int ->
+  Mincut_graph.Graph.t ->
+  ('state, 'msg) program ->
+  'state array * audit
+(** Run exactly [rounds] rounds (halted nodes stop stepping early); the
+    audit's [rounds] field reports the last round in which any message
+    was in flight (+1), i.e. the effective completion time. *)

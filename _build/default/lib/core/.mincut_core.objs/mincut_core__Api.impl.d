@@ -1,0 +1,1 @@
+lib/core/api.ml: Approx Exact Ghaffari_kuhn Mincut_congest Mincut_graph Mincut_util One_respect Params Printf Su Two_respect

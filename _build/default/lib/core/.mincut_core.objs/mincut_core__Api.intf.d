@@ -1,0 +1,1 @@
+lib/core/api.mli: Mincut_graph Mincut_util One_respect Params

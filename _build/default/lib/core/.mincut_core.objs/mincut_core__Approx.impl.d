@@ -1,0 +1,1 @@
+lib/core/approx.ml: Exact Mincut_congest Mincut_graph Mincut_util Params

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Api Array List Mincut_congest Mincut_graph Mincut_util Params

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Api Mincut_graph Mincut_util Params

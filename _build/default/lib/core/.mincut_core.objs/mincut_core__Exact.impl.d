@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array List Mincut_congest Mincut_graph Mincut_mst Mincut_treepack Mincut_util One_respect One_respect_seq Params

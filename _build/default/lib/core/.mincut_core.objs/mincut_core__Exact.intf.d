@@ -1,0 +1,1 @@
+lib/core/exact.mli: Mincut_congest Mincut_graph Mincut_util One_respect Params

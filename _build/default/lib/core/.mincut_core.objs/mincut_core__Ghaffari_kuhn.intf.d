@@ -1,0 +1,1 @@
+lib/core/ghaffari_kuhn.mli: Mincut_congest Mincut_graph Mincut_util Params

@@ -1,0 +1,1 @@
+lib/core/one_respect.ml: Array Hashtbl Int List Mincut_congest Mincut_graph Mincut_mst Params Set

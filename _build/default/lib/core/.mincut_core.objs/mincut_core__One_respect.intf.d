@@ -1,0 +1,1 @@
+lib/core/one_respect.mli: Mincut_congest Mincut_graph Params

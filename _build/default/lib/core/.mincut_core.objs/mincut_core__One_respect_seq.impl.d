@@ -1,0 +1,1 @@
+lib/core/one_respect_seq.ml: Array List Mincut_graph Mincut_util

@@ -1,0 +1,1 @@
+lib/core/pritchard.ml: Mincut_congest Mincut_graph Mincut_util

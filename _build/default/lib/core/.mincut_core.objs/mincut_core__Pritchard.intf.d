@@ -1,0 +1,1 @@
+lib/core/pritchard.mli: Mincut_congest Mincut_graph Mincut_util Params

@@ -1,0 +1,1 @@
+lib/core/su.ml: Float List Mincut_congest Mincut_graph Mincut_util Params

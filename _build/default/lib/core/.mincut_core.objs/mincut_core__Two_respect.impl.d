@@ -1,0 +1,1 @@
+lib/core/two_respect.ml: Array List Mincut_congest Mincut_graph Mincut_treepack Mincut_util One_respect_seq Params

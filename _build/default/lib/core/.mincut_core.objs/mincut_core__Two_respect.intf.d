@@ -1,0 +1,1 @@
+lib/core/two_respect.mli: Mincut_congest Mincut_graph Mincut_util Params

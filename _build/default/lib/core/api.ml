@@ -1,0 +1,57 @@
+module Graph = Mincut_graph.Graph
+module Bitset = Mincut_util.Bitset
+module Cost = Mincut_congest.Cost
+module Rng = Mincut_util.Rng
+
+type algorithm =
+  | Exact_small_lambda
+  | Exact_two_respect
+  | Approx of float
+  | Ghaffari_kuhn of float
+  | Su of float
+
+let algorithm_name = function
+  | Exact_small_lambda -> "exact (tree packing + 1-respect)"
+  | Exact_two_respect -> "exact (tree packing + 2-respect)"
+  | Approx e -> Printf.sprintf "(1+%.2f)-approx (skeleton + exact)" e
+  | Ghaffari_kuhn e -> Printf.sprintf "(2+%.2f)-approx (Ghaffari-Kuhn)" e
+  | Su e -> Printf.sprintf "(1+%.2f)-style (Su)" e
+
+type summary = {
+  algorithm : algorithm;
+  value : int;
+  side : Bitset.t;
+  rounds : int;
+  breakdown : (string * int) list;
+}
+
+let of_cost algorithm value side (cost : Cost.t) =
+  { algorithm; value; side; rounds = cost.Cost.rounds; breakdown = cost.Cost.breakdown }
+
+let min_cut ?(params = Params.default) ?(algorithm = Exact_small_lambda) ?(seed = 0)
+    ?trees g =
+  let rng = Rng.create seed in
+  match algorithm with
+  | Exact_small_lambda ->
+      let r = Exact.run ~params ?trees g in
+      of_cost algorithm r.Exact.value r.Exact.side r.Exact.cost
+  | Exact_two_respect ->
+      let r = Two_respect.min_cut ~params ?trees g in
+      of_cost algorithm r.Two_respect.value r.Two_respect.side r.Two_respect.cost
+  | Approx epsilon ->
+      let r = Approx.run ~params ?trees ~rng ~epsilon g in
+      of_cost algorithm r.Approx.value r.Approx.side r.Approx.cost
+  | Ghaffari_kuhn epsilon ->
+      let r = Ghaffari_kuhn.run ~params ~epsilon g in
+      of_cost algorithm r.Ghaffari_kuhn.value r.Ghaffari_kuhn.side r.Ghaffari_kuhn.cost
+  | Su epsilon ->
+      let r = Su.run ~params ~rng ~epsilon g in
+      of_cost algorithm r.Su.value r.Su.side r.Su.cost
+
+let one_respecting_cut ?(params = Params.default) g tree = One_respect.run ~params g tree
+
+let verify g summary =
+  let c = Bitset.cardinal summary.side in
+  c >= 1
+  && c <= Graph.n g - 1
+  && Graph.cut_of_bitset g summary.side = summary.value

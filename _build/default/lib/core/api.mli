@@ -1,0 +1,46 @@
+(** Convenience front end over the four algorithms.
+
+    Typical use:
+    {[
+      let g = Mincut_graph.Generators.gnp_connected ~rng 256 0.05 in
+      let r = Mincut_core.Api.min_cut g in
+      Printf.printf "λ = %d in %d simulated rounds\n" r.value r.rounds
+    ]} *)
+
+type algorithm =
+  | Exact_small_lambda          (** the paper's Õ((√n+D)·poly λ) exact algorithm *)
+  | Exact_two_respect           (** extension: Karger 2-respecting cuts, far fewer trees *)
+  | Approx of float             (** (1+ε): the paper's headline result *)
+  | Ghaffari_kuhn of float      (** (2+ε) baseline [DISC 2013] *)
+  | Su of float                 (** concurrent (1+ε)-style baseline [SPAA 2014] *)
+
+val algorithm_name : algorithm -> string
+
+type summary = {
+  algorithm : algorithm;
+  value : int;                       (** cut value found (exact: = λ) *)
+  side : Mincut_util.Bitset.t;       (** achieving side X; each node knows
+                                         whether it is in X, per the problem
+                                         statement *)
+  rounds : int;                      (** simulated CONGEST rounds *)
+  breakdown : (string * int) list;   (** per-step round costs *)
+}
+
+val min_cut :
+  ?params:Params.t ->
+  ?algorithm:algorithm ->
+  ?seed:int ->
+  ?trees:int ->
+  Mincut_graph.Graph.t ->
+  summary
+(** Run the chosen algorithm (default [Exact_small_lambda]) on a graph
+    with n ≥ 2.  [seed] (default 0) drives the randomized algorithms;
+    [trees] overrides the packing budget. *)
+
+val one_respecting_cut :
+  ?params:Params.t -> Mincut_graph.Graph.t -> Mincut_graph.Tree.t -> One_respect.result
+(** Direct access to Theorem 2.1 for a caller-supplied spanning tree. *)
+
+val verify : Mincut_graph.Graph.t -> summary -> bool
+(** Recompute [C(side)] from the definition and compare with [value] —
+    cheap certification of any summary. *)

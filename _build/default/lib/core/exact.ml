@@ -1,0 +1,113 @@
+module Graph = Mincut_graph.Graph
+module Tree = Mincut_graph.Tree
+module Bfs = Mincut_graph.Bfs
+module Bitset = Mincut_util.Bitset
+module Tree_packing = Mincut_treepack.Tree_packing
+module Cost = Mincut_congest.Cost
+
+type result = {
+  value : int;
+  side : Bitset.t;
+  best_tree : int;
+  trees_used : int;
+  cost : Cost.t;
+  stats : One_respect.stats;
+}
+
+let min_weighted_degree g =
+  let best = ref max_int in
+  for v = 0 to Graph.n g - 1 do
+    best := min !best (Graph.weighted_degree g v)
+  done;
+  !best
+
+let run ?(params = Params.default) ?trees g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Exact.run: need n >= 2";
+  if not (Bfs.is_connected g) then
+    (* a disconnected network has min cut 0; every node detects it from
+       the BFS-tree construction timing out in its component *)
+    {
+      value = 0;
+      side = Bfs.component_of g 0;
+      best_tree = 0;
+      trees_used = 0;
+      cost = Cost.step "bfs-tree (component detection)" (Graph.n g);
+      stats =
+        {
+          One_respect.n;
+          bfs_height = 0;
+          fragment_count = 0;
+          max_fragment_height = 0;
+          merging_count = 0;
+          tf_prime_size = 0;
+          lca_case1 = 0;
+          lca_case2 = 0;
+          lca_case3 = 0;
+          max_lca_exchange = 0;
+        };
+    }
+  else begin
+    let trees =
+      match trees with
+      | Some t -> t
+      | None -> Tree_packing.recommended_trees ~n ~lambda_hint:(min_weighted_degree g)
+    in
+    let packing = Tree_packing.greedy g ~trees in
+    let diameter = Tree.height (Tree.bfs_tree g ~root:0) in
+    (* the network first agrees on a leader (all ids flood; the paper
+       assumes unique ids); real in full-fidelity mode *)
+    let c_leader =
+      if params.Params.run_real_primitives then begin
+        let ids = Array.init n (fun v -> v) in
+        let learned, c = Mincut_congest.Primitives.flood_max ~cfg:params.Params.congest g ~values:ids in
+        assert (Array.for_all (fun x -> x = n - 1) learned);
+        Cost.step "leader election (real flood-max)" c.Cost.rounds
+      end
+      else Cost.step "leader election" ((2 * diameter) + 2)
+    in
+    let c_pack =
+      if params.Params.run_real_primitives then begin
+        (* the packing's first tree is the plain MST: run it for real on
+           the engine (message-level Borůvka) and check it matches the
+           packing's tree 1; the remaining load-reweighted MSTs are
+           charged at the Kutten–Peleg bound as the paper prescribes *)
+        let d = Mincut_mst.Boruvka_dist.run ~cfg:params.Params.congest g in
+        assert (
+          List.sort compare d.Mincut_mst.Boruvka_dist.edge_ids
+          = List.sort compare packing.Tree_packing.trees.(0));
+        Cost.( ++ )
+          (Cost.step "tree 1: real distributed Boruvka MST"
+             d.Mincut_mst.Boruvka_dist.cost.Cost.rounds)
+          (Tree_packing.distributed_cost ~n ~diameter ~trees:(trees - 1)
+             ~per_tree_rounds:(Params.kp_mst_rounds params ~n ~diameter))
+      end
+      else
+        Tree_packing.distributed_cost ~n ~diameter ~trees
+          ~per_tree_rounds:(Params.kp_mst_rounds params ~n ~diameter)
+    in
+    let best = ref None in
+    let cost = ref (Cost.( ++ ) c_leader c_pack) in
+    Array.iteri
+      (fun i ids ->
+        let tree = Tree.of_edge_ids g ~root:0 ids in
+        let r = One_respect.run ~params g tree in
+        cost := Cost.( ++ ) !cost r.One_respect.cost;
+        match !best with
+        | Some (v, _, _, _) when v <= r.One_respect.best_value -> ()
+        | _ -> best := Some (r.One_respect.best_value, r.One_respect.best_node, i, r))
+      packing.Tree_packing.trees;
+    match !best with
+    | None -> assert false
+    | Some (value, node, tree_idx, r) ->
+        let tree = Tree.of_edge_ids g ~root:0 packing.Tree_packing.trees.(tree_idx) in
+        let side = One_respect_seq.side_of tree node in
+        {
+          value;
+          side;
+          best_tree = tree_idx;
+          trees_used = trees;
+          cost = !cost;
+          stats = r.One_respect.stats;
+        }
+  end

@@ -1,0 +1,25 @@
+(** The Ghaffari–Kuhn (2+ε)-approximation baseline [DISC 2013].
+
+    GK's distributed algorithm is, at its core, a distributed Matula
+    (2+ε) edge-connectivity approximation; this module reproduces the
+    {e approximation behaviour} — the quantity the paper's comparison is
+    about — by implementing Matula's algorithm for real on
+    Nagamochi–Ibaraki sparse certificates, while charging each iteration
+    at the published Õ((√n + D)) round bound (see DESIGN.md,
+    substitution table).
+
+    Matula's invariant: the minimum weighted degree δ of the current
+    contracted graph is always a genuine cut of [G] (so the answer is
+    ≥ λ), and if a contraction ever destroys every minimum cut it does
+    so only when δ < (2+ε)·λ already — so the final answer lies in
+    [λ, (2+ε)λ]. *)
+
+type result = {
+  value : int;                   (** a cut value in [λ, (2+ε)λ] *)
+  side : Mincut_util.Bitset.t;   (** the achieving side in G *)
+  iterations : int;              (** contraction phases performed *)
+  cost : Mincut_congest.Cost.t;
+}
+
+val run : ?params:Params.t -> epsilon:float -> Mincut_graph.Graph.t -> result
+(** Requires a connected graph with n ≥ 2 and [epsilon > 0]. *)

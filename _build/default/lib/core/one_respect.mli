@@ -1,0 +1,62 @@
+(** The paper's main result (Theorem 2.1): an Õ(√n + D)-round CONGEST
+    algorithm computing, for a rooted spanning tree [T] of the network,
+    every subtree cut [C(v↓)] — and hence the minimum cut that
+    1-respects [T].
+
+    The five steps of Section 2 are implemented at the distributed
+    knowledge level: the module computes exactly the per-node knowledge
+    the paper's protocol establishes (fragment ids, the fragment tree
+    [T_F], the sets [F(v)] and ancestor lists [A(v)], merging nodes and
+    [T'_F], per-edge LCAs via the three-case analysis, and the [δ↓]/[ρ↓]
+    aggregates), while the round cost of every step is assembled from
+    the *measured* schedule parameters of this execution — real fragment
+    heights, real item counts for each pipelined broadcast/upcast, real
+    per-edge exchange lengths for the LCA step (see {!Mincut_congest.Pipeline}).
+    Steps with message-level implementations (the global BFS tree and
+    the intra-fragment aggregations) actually run on the CONGEST engine
+    when [params.run_real_primitives] is set, and the engine-measured
+    rounds are charged for them.
+
+    Notably, the per-edge LCA here is computed by the paper's fragment
+    machinery (cases 1–3), NOT by the binary-lifting oracle of the
+    sequential reference — the test suite checks the two agree edge by
+    edge. *)
+
+type stats = {
+  n : int;
+  bfs_height : int;           (** height of the global BFS tree (≤ D) *)
+  fragment_count : int;       (** k = O(√n) *)
+  max_fragment_height : int;  (** O(√n) *)
+  merging_count : int;        (** |merging nodes| = O(√n) *)
+  tf_prime_size : int;        (** |T'_F| = O(√n) *)
+  lca_case1 : int;
+  lca_case2 : int;
+  lca_case3 : int;            (** how many edges hit each LCA case *)
+  max_lca_exchange : int;     (** worst per-edge exchange length (Step 5) *)
+}
+
+type result = {
+  cuts : int array;       (** C(v↓) for every node — "at the end of our
+                              algorithm every node v knows C(v↓)" *)
+  best_value : int;       (** c* = min_{v ≠ root} C(v↓) *)
+  best_node : int;
+  cost : Mincut_congest.Cost.t;  (** per-step round breakdown *)
+  stats : stats;
+}
+
+val run :
+  ?params:Params.t ->
+  ?target:int ->
+  Mincut_graph.Graph.t ->
+  Mincut_graph.Tree.t ->
+  result
+(** Requires a connected graph with n ≥ 2 and a spanning tree of it.
+    [target] overrides the fragment height threshold (default ⌈√n⌉) —
+    exposed for the A1 ablation, which shows why √n is the right
+    balance point between fragment-local and global-broadcast work. *)
+
+val lca_by_fragments :
+  ?target:int -> Mincut_graph.Graph.t -> Mincut_graph.Tree.t -> (int * int * int) array
+(** Exposed for testing: per graph edge, [(lca, case, items)] where
+    [case] ∈ {1,2,3} is the Step-5 case that resolved it and [items] the
+    exchange length it needed. *)

@@ -1,0 +1,29 @@
+(** Sequential reference for "minimum cut that 1-respects a tree".
+
+    Implements Karger's Lemma 5.9 directly with a binary-lifting LCA
+    oracle and two subtree accumulations:
+    [C(v↓) = δ↓(v) − 2ρ↓(v)], minimized over [v ≠ root].
+
+    This module is deliberately independent of the distributed
+    implementation ({!One_respect}) — different LCA algorithm, different
+    aggregation order — so the two act as cross-checking oracles in the
+    differential tests. *)
+
+type result = {
+  cuts : int array;      (** C(v↓) per node; the root's entry is 0 (cut of V) *)
+  best_value : int;      (** min over v ≠ root *)
+  best_node : int;       (** argmin; the cut side is best_node↓ *)
+  rho : int array;       (** ρ(v): weight of edges whose endpoint-LCA is v *)
+  delta_down : int array; (** δ↓(v) *)
+  rho_down : int array;  (** ρ↓(v) *)
+}
+
+val run : Mincut_graph.Graph.t -> Mincut_graph.Tree.t -> result
+(** Requires [n >= 2] and a spanning tree of the (connected) graph. *)
+
+val side_of : Mincut_graph.Tree.t -> int -> Mincut_util.Bitset.t
+(** [side_of tree v] — the node set [v↓] as a bitset. *)
+
+val naive_cuts : Mincut_graph.Graph.t -> Mincut_graph.Tree.t -> int array
+(** O(n·m) direct evaluation of every [C(v↓)] from the cut definition —
+    a third, dumbest oracle used by the property tests. *)

@@ -1,0 +1,23 @@
+type t = {
+  kp_constant : int;
+  congest : Mincut_congest.Config.t;
+  run_real_primitives : bool;
+}
+
+let default =
+  { kp_constant = 1; congest = Mincut_congest.Config.default; run_real_primitives = true }
+
+let fast = { default with run_real_primitives = false }
+
+let log_star n =
+  let rec go acc x = if x <= 2 then max 1 acc else go (acc + 1) (int_of_float (log (float_of_int x) /. log 2.0)) in
+  go 1 n
+
+let isqrt_ceil n = int_of_float (ceil (sqrt (float_of_int (max 1 n))))
+
+let kp_mst_rounds t ~n ~diameter =
+  t.kp_constant * ((isqrt_ceil n * log_star n) + diameter)
+
+let kp_partition_rounds = kp_mst_rounds
+
+let sqrt_target ~n = isqrt_ceil n

@@ -1,0 +1,1 @@
+lib/graph/all_min_cuts.ml: Bfs Graph Hashtbl Karger List Mincut_util

@@ -1,0 +1,1 @@
+lib/graph/all_min_cuts.mli: Graph Mincut_util

@@ -1,0 +1,1 @@
+lib/graph/bridge.ml: Array Bfs Graph List Stack

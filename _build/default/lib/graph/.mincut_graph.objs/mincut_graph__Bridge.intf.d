@@ -1,0 +1,1 @@
+lib/graph/bridge.mli: Graph

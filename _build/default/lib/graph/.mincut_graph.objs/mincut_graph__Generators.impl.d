@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Bfs Float Graph Hashtbl List Mincut_util Printf

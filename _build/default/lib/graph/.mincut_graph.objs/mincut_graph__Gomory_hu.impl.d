@@ -1,0 +1,1 @@
+lib/graph/gomory_hu.ml: Array Bfs Graph Maxflow Mincut_util

@@ -1,0 +1,1 @@
+lib/graph/gomory_hu.mli: Graph

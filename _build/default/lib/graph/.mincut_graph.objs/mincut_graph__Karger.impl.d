@@ -1,0 +1,1 @@
+lib/graph/karger.ml: Array Graph List Mincut_util Union_find

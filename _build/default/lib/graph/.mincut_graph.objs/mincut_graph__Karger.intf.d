@@ -1,0 +1,1 @@
+lib/graph/karger.mli: Graph Mincut_util

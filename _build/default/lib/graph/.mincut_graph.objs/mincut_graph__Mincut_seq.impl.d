@@ -1,0 +1,1 @@
+lib/graph/mincut_seq.ml: Bfs Graph Mincut_util Stoer_wagner

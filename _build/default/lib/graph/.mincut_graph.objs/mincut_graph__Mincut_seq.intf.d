@@ -1,0 +1,1 @@
+lib/graph/mincut_seq.mli: Graph Mincut_util

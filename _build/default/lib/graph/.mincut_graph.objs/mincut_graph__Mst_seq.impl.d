@@ -1,0 +1,1 @@
+lib/graph/mst_seq.ml: Array Graph Hashtbl List Mincut_util Union_find

@@ -1,0 +1,1 @@
+lib/graph/nagamochi.ml: Array Graph Mincut_util Union_find

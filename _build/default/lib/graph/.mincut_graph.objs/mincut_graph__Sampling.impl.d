@@ -1,0 +1,1 @@
+lib/graph/sampling.ml: Float Graph Mincut_util

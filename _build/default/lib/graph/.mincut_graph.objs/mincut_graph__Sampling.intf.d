@@ -1,0 +1,1 @@
+lib/graph/sampling.mli: Graph Mincut_util

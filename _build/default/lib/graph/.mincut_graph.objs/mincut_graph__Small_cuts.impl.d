@@ -1,0 +1,1 @@
+lib/graph/small_cuts.ml: Array Bfs Bridge Graph List Mincut_util Mst_seq

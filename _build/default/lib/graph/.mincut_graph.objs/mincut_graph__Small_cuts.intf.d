@@ -1,0 +1,1 @@
+lib/graph/small_cuts.mli: Graph Mincut_util

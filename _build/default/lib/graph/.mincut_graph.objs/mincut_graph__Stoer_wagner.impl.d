@@ -1,0 +1,1 @@
+lib/graph/stoer_wagner.ml: Array Bfs Graph List Mincut_util

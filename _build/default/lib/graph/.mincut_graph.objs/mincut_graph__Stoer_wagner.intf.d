@@ -1,0 +1,1 @@
+lib/graph/stoer_wagner.mli: Graph Mincut_util

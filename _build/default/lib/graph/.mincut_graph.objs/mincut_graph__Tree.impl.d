@@ -1,0 +1,1 @@
+lib/graph/tree.ml: Array Bfs Graph List Queue Stack

@@ -1,0 +1,67 @@
+type result = {
+  dist : int array;
+  parent : int array;
+  parent_edge : int array;
+  order : int list;
+}
+
+let run_multi g ~sources =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = -1 then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    sources;
+  let order = ref [] in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    order := v :: !order;
+    Array.iter
+      (fun (u, eid) ->
+        if dist.(u) = -1 then begin
+          dist.(u) <- dist.(v) + 1;
+          parent.(u) <- v;
+          parent_edge.(u) <- eid;
+          Queue.add u q
+        end)
+      (Graph.adj g v)
+  done;
+  { dist; parent; parent_edge; order = List.rev !order }
+
+let run g ~source = run_multi g ~sources:[ source ]
+
+let eccentricity g v =
+  let r = run g ~source:v in
+  Array.fold_left max 0 r.dist
+
+let is_connected g =
+  let n = Graph.n g in
+  n <= 1
+  ||
+  let r = run g ~source:0 in
+  Array.for_all (fun d -> d >= 0) r.dist
+
+let component_of g v =
+  let r = run g ~source:v in
+  let set = Mincut_util.Bitset.create (Graph.n g) in
+  Array.iteri (fun u d -> if d >= 0 then Mincut_util.Bitset.add set u) r.dist;
+  set
+
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if label.(v) = -1 then begin
+      let r = run g ~source:v in
+      Array.iteri (fun u d -> if d >= 0 && label.(u) = -1 then label.(u) <- !next) r.dist;
+      incr next
+    end
+  done;
+  label

@@ -1,0 +1,22 @@
+let check_connected g =
+  if not (Bfs.is_connected g) then invalid_arg "Diameter: disconnected graph"
+
+let exact g =
+  check_connected g;
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    best := max !best (Bfs.eccentricity g v)
+  done;
+  !best
+
+let double_sweep g =
+  check_connected g;
+  if Graph.n g <= 1 then 0
+  else begin
+    let r0 = Bfs.run g ~source:0 in
+    let far = ref 0 in
+    Array.iteri (fun v d -> if d > r0.dist.(!far) then far := v) r0.dist;
+    Bfs.eccentricity g !far
+  end
+
+let estimate g = if Graph.n g <= 1024 then exact g else double_sweep g

@@ -1,0 +1,17 @@
+(** Hop diameter of a connected graph.
+
+    [D] appears in every round bound of the paper, so the benchmark
+    harness needs it both exactly (small graphs) and cheaply (large
+    sweeps, where the double-sweep lower bound is within a factor 2 and
+    in practice almost always exact on the generator families we use). *)
+
+val exact : Graph.t -> int
+(** All-pairs BFS; O(n·m).  Raises [Invalid_argument] on disconnected
+    graphs. *)
+
+val double_sweep : Graph.t -> int
+(** Lower bound by two BFS sweeps (eccentricity of a farthest node from
+    an arbitrary start).  Exact on trees. *)
+
+val estimate : Graph.t -> int
+(** [exact] for n <= 1024, otherwise [double_sweep]. *)

@@ -1,0 +1,29 @@
+module Bitset = Mincut_util.Bitset
+
+let to_dot ?side ?labels g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph mincut {\n  node [shape=circle, fontsize=10];\n";
+  let in_side v = match side with Some s -> Bitset.mem s v | None -> false in
+  for v = 0 to Graph.n g - 1 do
+    let label = match labels with Some f -> f v | None -> string_of_int v in
+    let fill = if in_side v then ", style=filled, fillcolor=lightblue" else "" in
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"%s];\n" v label fill)
+  done;
+  Graph.iter_edges
+    (fun e ->
+      let crossing = in_side e.Graph.u <> in_side e.Graph.v in
+      let attrs =
+        (if e.Graph.w > 1 then Printf.sprintf "label=\"%d\"" e.Graph.w else "")
+        ^ (if crossing then (if e.Graph.w > 1 then ", " else "") ^ "color=red, style=dashed"
+           else "")
+      in
+      if attrs = "" then Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" e.Graph.u e.Graph.v)
+      else Buffer.add_string buf (Printf.sprintf "  %d -- %d [%s];\n" e.Graph.u e.Graph.v attrs))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path ?side ?labels g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_dot ?side ?labels g))

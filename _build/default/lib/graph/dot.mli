@@ -1,0 +1,13 @@
+(** Graphviz export, for eyeballing cuts and fragments.
+
+    [to_dot g] renders the graph; optional [side] paints one cut side
+    and draws crossing edges dashed red; optional [labels] annotates
+    nodes (e.g. fragment ids).  Paste into `dot -Tsvg`. *)
+
+val to_dot :
+  ?side:Mincut_util.Bitset.t ->
+  ?labels:(int -> string) ->
+  Graph.t ->
+  string
+
+val save : string -> ?side:Mincut_util.Bitset.t -> ?labels:(int -> string) -> Graph.t -> unit

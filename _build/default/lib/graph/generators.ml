@@ -1,0 +1,263 @@
+module Rng = Mincut_util.Rng
+
+type weights = { wmin : int; wmax : int }
+
+let unit_weights = { wmin = 1; wmax = 1 }
+
+let draw_weight ?weights ?rng () =
+  match (weights, rng) with
+  | None, _ -> 1
+  | Some { wmin; wmax }, _ when wmin = wmax -> wmin
+  | Some { wmin; wmax }, Some rng -> Rng.int_in rng wmin wmax
+  | Some _, None -> invalid_arg "Generators: weight range requires an rng"
+
+let path ?weights ?rng n =
+  assert (n >= 1);
+  Graph.create ~n
+    (List.init (n - 1) (fun i -> (i, i + 1, draw_weight ?weights ?rng ())))
+
+let ring ?weights ?rng n =
+  assert (n >= 3);
+  Graph.create ~n
+    (List.init n (fun i -> (i, (i + 1) mod n, draw_weight ?weights ?rng ())))
+
+let complete ?weights ?rng n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v, draw_weight ?weights ?rng ()) :: !acc
+    done
+  done;
+  Graph.create ~n !acc
+
+let grid rows cols =
+  assert (rows >= 1 && cols >= 1);
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (id r c, id r (c + 1), 1) :: !acc;
+      if r + 1 < rows then acc := (id r c, id (r + 1) c, 1) :: !acc
+    done
+  done;
+  Graph.create ~n:(rows * cols) !acc
+
+let torus rows cols =
+  assert (rows >= 3 && cols >= 3);
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      acc := (id r c, id r ((c + 1) mod cols), 1) :: !acc;
+      acc := (id r c, id ((r + 1) mod rows) c, 1) :: !acc
+    done
+  done;
+  Graph.create ~n:(rows * cols) !acc
+
+let hypercube d =
+  assert (d >= 1 && d <= 20);
+  let n = 1 lsl d in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if u > v then acc := (v, u, 1) :: !acc
+    done
+  done;
+  Graph.create ~n !acc
+
+let wheel n =
+  assert (n >= 4);
+  let rim = n - 1 in
+  let acc = ref [] in
+  for i = 1 to rim do
+    acc := (0, i, 1) :: !acc;
+    acc := (i, (i mod rim) + 1, 1) :: !acc
+  done;
+  Graph.create ~n !acc
+
+let caterpillar spine legs =
+  assert (spine >= 1 && legs >= 0);
+  let acc = ref [] in
+  let next = ref spine in
+  for i = 0 to spine - 1 do
+    if i + 1 < spine then acc := (i, i + 1, 1) :: !acc;
+    for _ = 1 to legs do
+      acc := (i, !next, 1) :: !acc;
+      incr next
+    done
+  done;
+  Graph.create ~n:!next !acc
+
+let clique_edges ~offset k =
+  let acc = ref [] in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      acc := (offset + u, offset + v, 1) :: !acc
+    done
+  done;
+  !acc
+
+let barbell k =
+  assert (k >= 2);
+  let edges = clique_edges ~offset:0 k @ clique_edges ~offset:k k in
+  Graph.create ~n:(2 * k) ((k - 1, k, 1) :: edges)
+
+let gnp ~rng ?weights n p =
+  assert (n >= 1 && p >= 0.0 && p <= 1.0);
+  if p <= 0.0 then Graph.create ~n []
+  else begin
+    (* Enumerate the C(n,2) potential edges implicitly and jump between
+       successes with geometric skips. *)
+    let total = n * (n - 1) / 2 in
+    let acc = ref [] in
+    let pos = ref (-1) in
+    let unrank k =
+      (* invert k = u*n - u*(u+1)/2 + (v - u - 1); linear scan per row kept
+         amortized O(1) by carrying the row start *)
+      let rec find u start =
+        let row = n - 1 - u in
+        if k < start + row then (u, u + 1 + (k - start)) else find (u + 1) (start + row)
+      in
+      find 0 0
+    in
+    let continue = ref true in
+    while !continue do
+      let skip = if p >= 1.0 then 0 else Rng.geometric rng p in
+      pos := !pos + 1 + skip;
+      if !pos >= total then continue := false
+      else begin
+        let u, v = unrank !pos in
+        acc := (u, v, draw_weight ?weights ~rng ()) :: !acc
+      end
+    done;
+    Graph.create ~n !acc
+  end
+
+let gnp_connected ~rng ?weights n p =
+  let rec go tries =
+    if tries = 0 then failwith "Generators.gnp_connected: p too small to connect";
+    let g = gnp ~rng ?weights n p in
+    if Bfs.is_connected g then g else go (tries - 1)
+  in
+  go 100
+
+let random_tree ~rng ?weights n =
+  assert (n >= 1);
+  Graph.create ~n
+    (List.init (n - 1) (fun i ->
+         let v = i + 1 in
+         (Rng.int rng v, v, draw_weight ?weights ~rng ())))
+
+let random_regular ~rng ?weights n d =
+  if n * d mod 2 <> 0 || d >= n || d < 1 then
+    invalid_arg "Generators.random_regular: need n*d even and 1 <= d < n";
+  let attempt () =
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    Rng.shuffle rng stubs;
+    let seen = Hashtbl.create (n * d) in
+    let acc = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        acc := (u, v, draw_weight ?weights ~rng ()) :: !acc
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some (Graph.create ~n !acc) else None
+  in
+  let rec go tries =
+    if tries = 0 then failwith "Generators.random_regular: too many collisions"
+    else match attempt () with Some g -> g | None -> go (tries - 1)
+  in
+  go 1000
+
+let planted_cut ~rng ?weights ~n ~cut_edges ~p_in () =
+  assert (n >= 4 && cut_edges >= 1);
+  let half = n / 2 in
+  let size_b = n - half in
+  let connect_half ~offset ~size =
+    (* dense half plus a Hamiltonian path to guarantee connectivity *)
+    let g = gnp ~rng ?weights size p_in in
+    let inner =
+      Graph.fold_edges
+        (fun acc e -> (offset + e.Graph.u, offset + e.Graph.v, e.Graph.w) :: acc)
+        [] g
+    in
+    let spine =
+      List.init (size - 1) (fun i ->
+          (offset + i, offset + i + 1, draw_weight ?weights ~rng ()))
+    in
+    (* drop duplicate spine edges already present: multigraph is fine for
+       our algorithms, but keeping it simple we just allow parallels *)
+    inner @ spine
+  in
+  let cross =
+    List.init cut_edges (fun _ -> (Rng.int rng half, half + Rng.int rng size_b, 1))
+  in
+  Graph.create ~n (connect_half ~offset:0 ~size:half @ connect_half ~offset:half ~size:size_b @ cross)
+
+let path_of_cliques ~clique ~length =
+  assert (clique >= 3 && length >= 1);
+  let acc = ref [] in
+  for i = 0 to length - 1 do
+    acc := clique_edges ~offset:(i * clique) clique @ !acc;
+    if i + 1 < length then begin
+      (* two parallel links between consecutive cliques: λ = 2 *)
+      acc := ((i * clique) + clique - 1, (i + 1) * clique, 1) :: !acc;
+      acc := ((i * clique) + clique - 2, ((i + 1) * clique) + 1, 1) :: !acc
+    end
+  done;
+  Graph.create ~n:(clique * length) !acc
+
+let spider ~legs ~leg_length =
+  assert (legs >= 1 && leg_length >= 1);
+  let n = (legs * leg_length) + 1 in
+  let acc = ref [] in
+  for l = 0 to legs - 1 do
+    let base = 1 + (l * leg_length) in
+    acc := (0, base, 1) :: !acc;
+    for i = 0 to leg_length - 2 do
+      acc := (base + i, base + i + 1, 1) :: !acc
+    done
+  done;
+  Graph.create ~n !acc
+
+let dumbbell k bridge_nodes =
+  assert (k >= 2 && bridge_nodes >= 0);
+  let n = (2 * k) + bridge_nodes in
+  let left = clique_edges ~offset:0 k in
+  let right = clique_edges ~offset:(k + bridge_nodes) k in
+  let chain =
+    List.init (bridge_nodes + 1) (fun i -> (k - 1 + i, k + i, 1))
+  in
+  Graph.create ~n (left @ right @ chain)
+
+let family_names =
+  [ "path"; "ring"; "complete"; "grid"; "torus"; "hypercube"; "wheel"; "barbell";
+    "spider"; "cliques-path"; "random-tree"; "regular"; "gnp"; "planted" ]
+
+let by_name ~rng ?weights ~name ~size () =
+  match name with
+  | "path" -> Ok (path ?weights ~rng size)
+  | "ring" -> Ok (ring ?weights ~rng size)
+  | "complete" -> Ok (complete ?weights ~rng size)
+  | "grid" -> Ok (grid size size)
+  | "torus" -> Ok (torus size size)
+  | "hypercube" -> Ok (hypercube size)
+  | "wheel" -> Ok (wheel size)
+  | "barbell" -> Ok (barbell size)
+  | "spider" -> Ok (spider ~legs:size ~leg_length:(4 * size))
+  | "cliques-path" -> Ok (path_of_cliques ~clique:8 ~length:size)
+  | "random-tree" -> Ok (random_tree ~rng ?weights size)
+  | "regular" -> Ok (random_regular ~rng ?weights size 4)
+  | "gnp" ->
+      let p = 8.0 *. log (float_of_int size) /. float_of_int size in
+      Ok (gnp_connected ~rng ?weights size (Float.min 1.0 p))
+  | "planted" -> Ok (planted_cut ~rng ?weights ~n:size ~cut_edges:3 ~p_in:0.4 ())
+  | other -> Error (Printf.sprintf "unknown family %S" other)

@@ -1,0 +1,57 @@
+module Bitset = Mincut_util.Bitset
+
+type t = { parent : int array; flow : int array }
+
+(* Gusfield's algorithm: process nodes 1..n-1; compute maxflow(v, parent v)
+   on the ORIGINAL graph; re-hang nodes that fall on v's side. *)
+let build g =
+  let n = Graph.n g in
+  if n >= 2 && not (Bfs.is_connected g) then
+    invalid_arg "Gomory_hu.build: disconnected graph";
+  let parent = Array.make n 0 in
+  parent.(0) <- -1;
+  let flow = Array.make n max_int in
+  for v = 1 to n - 1 do
+    let p = parent.(v) in
+    let r = Maxflow.max_flow g ~s:v ~t:p in
+    flow.(v) <- r.Maxflow.value;
+    for u = v + 1 to n - 1 do
+      if parent.(u) = p && Bitset.mem r.Maxflow.source_side u then parent.(u) <- v
+    done
+  done;
+  { parent; flow }
+
+let min_cut_between t u v =
+  if u = v then invalid_arg "Gomory_hu.min_cut_between: u = v";
+  let n = Array.length t.parent in
+  let depth x =
+    let rec go d x = if x = -1 then d else go (d + 1) t.parent.(x) in
+    go 0 x
+  in
+  ignore n;
+  let rec walk u du v dv best =
+    if u = v then best
+    else if du >= dv then walk t.parent.(u) (du - 1) v dv (min best t.flow.(u))
+    else walk u du t.parent.(v) (dv - 1) (min best t.flow.(v))
+  in
+  walk u (depth u) v (depth v) max_int
+
+let global_min_cut t =
+  let n = Array.length t.parent in
+  if n < 2 then invalid_arg "Gomory_hu.global_min_cut: need n >= 2";
+  let best = ref max_int in
+  for v = 1 to n - 1 do
+    best := min !best t.flow.(v)
+  done;
+  !best
+
+let widest_bottleneck_pairs t =
+  let n = Array.length t.parent in
+  if n < 2 then invalid_arg "Gomory_hu.widest_bottleneck_pairs: need n >= 2";
+  let best = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      best := max !best (min_cut_between t u v)
+    done
+  done;
+  !best

@@ -1,0 +1,31 @@
+(** Gomory–Hu tree: all-pairs minimum cuts in n−1 max-flow computations.
+
+    The Gomory–Hu tree of a connected weighted graph is a tree on the
+    same nodes such that for every pair (u, v) the minimum u–v cut in
+    the graph equals the smallest edge weight on the tree path between
+    them (and the corresponding tree edge's sides realize the cut).
+
+    Used here as (a) a richer all-pairs oracle for the test suite — the
+    global min cut must equal the lightest Gomory–Hu edge — and (b) the
+    engine behind the [network_reliability] example's per-pair bottleneck
+    report.  Implementation: the classic Gusfield simplification (no node
+    contraction), which yields a valid equivalent-flow tree with the same
+    guarantee. *)
+
+type t = {
+  parent : int array;        (** tree structure; node 0 is the root, parent.(0) = -1 *)
+  flow : int array;          (** flow.(v) = min cut between v and parent.(v) *)
+}
+
+val build : Graph.t -> t
+(** Requires a connected graph with n ≥ 1. *)
+
+val min_cut_between : t -> int -> int -> int
+(** Minimum u–v cut value: the bottleneck on the tree path. *)
+
+val global_min_cut : t -> int
+(** The lightest tree edge = λ(G).  Requires n ≥ 2. *)
+
+val widest_bottleneck_pairs : t -> int
+(** The {e largest} pairwise min cut — how well-connected the best pair
+    is (reliability reporting). *)

@@ -1,0 +1,118 @@
+type edge = { id : int; u : int; v : int; w : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int) array array;
+  wdeg : int array;  (* cached weighted degrees *)
+}
+
+let validate ~n (u, v, w) =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Graph.create: endpoint out of range (%d,%d), n=%d" u v n);
+  if u = v then invalid_arg "Graph.create: self loop";
+  if w <= 0 then invalid_arg "Graph.create: non-positive weight"
+
+let of_array ~n triples =
+  Array.iter (validate ~n) triples;
+  let edges =
+    Array.mapi
+      (fun id (u, v, w) -> if u < v then { id; u; v; w } else { id; u = v; v = u; w })
+      triples
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, e.id);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, e.id);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  let wdeg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      wdeg.(e.u) <- wdeg.(e.u) + e.w;
+      wdeg.(e.v) <- wdeg.(e.v) + e.w)
+    edges;
+  { n; edges; adj; wdeg }
+
+let create ~n triples = of_array ~n (Array.of_list triples)
+
+let n g = g.n
+
+let m g = Array.length g.edges
+
+let edge g id =
+  if id < 0 || id >= m g then invalid_arg "Graph.edge: bad id";
+  g.edges.(id)
+
+let edges g = g.edges
+
+let weight g id = (edge g id).w
+
+let endpoints g id =
+  let e = edge g id in
+  (e.u, e.v)
+
+let other_endpoint g id x =
+  let e = edge g id in
+  if e.u = x then e.v
+  else if e.v = x then e.u
+  else invalid_arg "Graph.other_endpoint: not an endpoint"
+
+let adj g v = g.adj.(v)
+
+let degree g v = Array.length g.adj.(v)
+
+let weighted_degree g v = g.wdeg.(v)
+
+let total_weight g = Array.fold_left (fun acc e -> acc + e.w) 0 g.edges
+
+let iter_edges f g = Array.iter f g.edges
+
+let fold_edges f init g = Array.fold_left f init g.edges
+
+let sub_by_edges g ~keep =
+  let triples =
+    Array.of_list
+      (List.filter_map
+         (fun e -> if keep e then Some (e.u, e.v, e.w) else None)
+         (Array.to_list g.edges))
+  in
+  of_array ~n:g.n triples
+
+let reweight g ~f =
+  let triples =
+    Array.of_list
+      (List.filter_map
+         (fun e ->
+           let w = f e in
+           if w > 0 then Some (e.u, e.v, w) else None)
+         (Array.to_list g.edges))
+  in
+  of_array ~n:g.n triples
+
+let cut_value g ~in_cut =
+  Array.fold_left
+    (fun acc e -> if in_cut e.u <> in_cut e.v then acc + e.w else acc)
+    0 g.edges
+
+let cut_of_bitset g side = cut_value g ~in_cut:(Mincut_util.Bitset.mem side)
+
+let canon_edges g =
+  let l = Array.to_list (Array.map (fun e -> (e.u, e.v, e.w)) g.edges) in
+  List.sort compare l
+
+let equal_structure a b = a.n = b.n && canon_edges a = canon_edges b
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d)" g.n (m g);
+  if m g <= 40 then
+    iter_edges (fun e -> Format.fprintf fmt "@ %d-%d:%d" e.u e.v e.w) g

@@ -1,0 +1,134 @@
+module Rng = Mincut_util.Rng
+module Bitset = Mincut_util.Bitset
+
+type result = { value : int; side : Bitset.t }
+
+(* Contraction state: union-find for supernodes plus the surviving edge
+   multiset (edges internal to a supernode are dropped lazily). *)
+type state = {
+  g : Graph.t;
+  uf : Union_find.t;
+  mutable live : int array;  (* edge ids with endpoints in distinct supernodes *)
+  mutable n_super : int;
+}
+
+let init g =
+  {
+    g;
+    uf = Union_find.create (Graph.n g);
+    live = Array.init (Graph.m g) (fun i -> i);
+    n_super = Graph.n g;
+  }
+
+let clone st =
+  {
+    g = st.g;
+    uf =
+      (let n = Graph.n st.g in
+       let uf = Union_find.create n in
+       for v = 0 to n - 1 do
+         ignore (Union_find.union uf (Union_find.find st.uf v) v)
+       done;
+       uf);
+    live = Array.copy st.live;
+    n_super = st.n_super;
+  }
+
+let compact st =
+  st.live <-
+    Array.of_list
+      (List.filter
+         (fun id ->
+           let u, v = Graph.endpoints st.g id in
+           not (Union_find.same st.uf u v))
+         (Array.to_list st.live))
+
+(* Pick a live edge with probability proportional to weight. *)
+let pick_weighted ~rng st =
+  let total =
+    Array.fold_left (fun acc id -> acc + Graph.weight st.g id) 0 st.live
+  in
+  assert (total > 0);
+  let target = Rng.int rng total in
+  let rec go i acc =
+    let acc = acc + Graph.weight st.g st.live.(i) in
+    if acc > target then st.live.(i) else go (i + 1) acc
+  in
+  go 0 0
+
+let contract_edge st id =
+  let u, v = Graph.endpoints st.g id in
+  if Union_find.union st.uf u v then st.n_super <- st.n_super - 1
+
+let rec contract_to ~rng st target =
+  if st.n_super > target then begin
+    compact st;
+    if Array.length st.live = 0 then () (* disconnected: stop *)
+    else begin
+      let id = pick_weighted ~rng st in
+      contract_edge st id;
+      contract_to ~rng st target
+    end
+  end
+
+let result_of_state st =
+  let n = Graph.n st.g in
+  let side = Bitset.create n in
+  let rep = Union_find.find st.uf 0 in
+  for v = 0 to n - 1 do
+    if Union_find.find st.uf v = rep then Bitset.add side v
+  done;
+  { value = Graph.cut_of_bitset st.g side; side }
+
+let contract_once ~rng g =
+  if Graph.n g < 2 then invalid_arg "Karger: need n >= 2";
+  let st = init g in
+  contract_to ~rng st 2;
+  result_of_state st
+
+let better a b = if a.value <= b.value then a else b
+
+let contraction ~rng ?trials g =
+  let n = Graph.n g in
+  let trials =
+    match trials with
+    | Some t -> t
+    | None ->
+        let nn = float_of_int n in
+        min 3000 (max 1 (int_of_float (nn *. nn *. log nn /. 2.0)))
+  in
+  let best = ref (contract_once ~rng g) in
+  for _ = 2 to trials do
+    best := better !best (contract_once ~rng g)
+  done;
+  !best
+
+let karger_stein ~rng ?trials g =
+  if Graph.n g < 2 then invalid_arg "Karger: need n >= 2";
+  let rec recurse st =
+    if st.n_super <= 6 then begin
+      contract_to ~rng st 2;
+      result_of_state st
+    end
+    else begin
+      let target =
+        int_of_float (ceil (float_of_int st.n_super /. sqrt 2.0)) + 1
+      in
+      let st2 = clone st in
+      contract_to ~rng st target;
+      contract_to ~rng st2 target;
+      better (recurse st) (recurse st2)
+    end
+  in
+  let trials =
+    match trials with
+    | Some t -> t
+    | None ->
+        let l = log (float_of_int (Graph.n g)) in
+        max 6 (int_of_float (l *. l))
+  in
+  let best = ref (recurse (init g)) in
+  for _ = 2 to trials do
+    best := better !best (recurse (init g))
+  done;
+  !best

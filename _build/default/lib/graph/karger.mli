@@ -1,0 +1,20 @@
+(** Randomized contraction algorithms (Karger; Karger–Stein).
+
+    Used as a second, independent ground-truth check against
+    Stoer–Wagner, and to sanity-check the sampling-based reductions: the
+    paper's (1+ε) algorithm rests on Karger's sampling lemma, and these
+    are the classic algorithms from the same toolbox. *)
+
+type result = { value : int; side : Mincut_util.Bitset.t }
+
+val contract_once : rng:Mincut_util.Rng.t -> Graph.t -> result
+(** One run of Karger's contraction down to two supernodes.  Succeeds
+    (returns the true min cut) with probability Ω(1/n²). *)
+
+val contraction : rng:Mincut_util.Rng.t -> ?trials:int -> Graph.t -> result
+(** Best of [trials] (default [n² ln n / 2], capped at 3000) independent
+    contractions. *)
+
+val karger_stein : rng:Mincut_util.Rng.t -> ?trials:int -> Graph.t -> result
+(** Recursive contraction; each of the [trials] (default [ln² n], at
+    least 6) runs succeeds with probability Ω(1/log n). *)

@@ -1,0 +1,111 @@
+module Bitset = Mincut_util.Bitset
+
+type result = { value : int; source_side : Bitset.t }
+
+(* Residual network in the usual arc-pair layout: arc [a] and its
+   reverse [a lxor 1] are stored adjacently.  An undirected edge of
+   capacity [w] becomes two arcs of capacity [w] each (flow pushed one
+   way consumes the shared capacity through the residual update). *)
+type network = {
+  n : int;
+  head : int array;          (* arc -> destination *)
+  cap : int array;           (* arc -> residual capacity *)
+  out : int list array;      (* node -> incident arc ids *)
+}
+
+let build g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let head = Array.make (2 * m) 0 in
+  let cap = Array.make (2 * m) 0 in
+  let out = Array.make n [] in
+  Graph.iter_edges
+    (fun e ->
+      let a = 2 * e.Graph.id in
+      head.(a) <- e.Graph.v;
+      head.(a + 1) <- e.Graph.u;
+      cap.(a) <- e.Graph.w;
+      cap.(a + 1) <- e.Graph.w;
+      out.(e.Graph.u) <- a :: out.(e.Graph.u);
+      out.(e.Graph.v) <- (a + 1) :: out.(e.Graph.v))
+    g;
+  { n; head; cap; out }
+
+(* BFS level graph; [-1] = unreachable *)
+let levels nw ~s =
+  let level = Array.make nw.n (-1) in
+  let q = Queue.create () in
+  level.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun a ->
+        let u = nw.head.(a) in
+        if nw.cap.(a) > 0 && level.(u) = -1 then begin
+          level.(u) <- level.(v) + 1;
+          Queue.add u q
+        end)
+      nw.out.(v)
+  done;
+  level
+
+(* blocking flow by DFS with an arc iterator per node *)
+let blocking_flow nw ~s ~t level =
+  let iter = Array.map (fun l -> ref l) nw.out in
+  let rec push v limit =
+    if v = t then limit
+    else begin
+      let sent = ref 0 in
+      let continue = ref true in
+      while !continue && !sent < limit do
+        match !(iter.(v)) with
+        | [] -> continue := false
+        | a :: rest ->
+            let u = nw.head.(a) in
+            if nw.cap.(a) > 0 && level.(u) = level.(v) + 1 then begin
+              let pushed = push u (min nw.cap.(a) (limit - !sent)) in
+              if pushed = 0 then iter.(v) := rest
+              else begin
+                nw.cap.(a) <- nw.cap.(a) - pushed;
+                nw.cap.(a lxor 1) <- nw.cap.(a lxor 1) + pushed;
+                sent := !sent + pushed
+              end
+            end
+            else iter.(v) := rest
+      done;
+      !sent
+    end
+  in
+  push s max_int
+
+let max_flow g ~s ~t =
+  if s = t then invalid_arg "Maxflow.max_flow: s = t";
+  let nw = build g in
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let level = levels nw ~s in
+    if level.(t) = -1 then continue := false
+    else begin
+      let pushed = blocking_flow nw ~s ~t level in
+      if pushed = 0 then continue := false else total := !total + pushed
+    end
+  done;
+  (* source side = residual-reachable set *)
+  let level = levels nw ~s in
+  let side = Bitset.create nw.n in
+  Array.iteri (fun v l -> if l >= 0 then Bitset.add side v) level;
+  { value = !total; source_side = side }
+
+let min_cut_via_flow g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Maxflow.min_cut_via_flow: need n >= 2";
+  if not (Bfs.is_connected g) then 0
+  else begin
+    let best = ref max_int in
+    for t = 1 to n - 1 do
+      best := min !best (max_flow g ~s:0 ~t).value
+    done;
+    !best
+  end

@@ -1,0 +1,26 @@
+(** Maximum s–t flow / minimum s–t cut (Dinic's algorithm).
+
+    Two roles in this repository:
+    - substrate for the {!Gomory_hu} all-pairs min-cut tree;
+    - a third independent oracle for the global min cut
+      (λ = min over t ≠ s of maxflow(s, t), by max-flow/min-cut), used in
+      property tests against Stoer–Wagner and the distributed algorithm.
+
+    Undirected edges are modeled as a pair of directed arcs sharing
+    capacity, the standard reduction. *)
+
+type result = {
+  value : int;                     (** the max flow = min s-t cut value *)
+  source_side : Mincut_util.Bitset.t;
+      (** nodes reachable from [s] in the residual graph — a minimum
+          s-t cut side *)
+}
+
+val max_flow : Graph.t -> s:int -> t:int -> result
+(** Requires [s <> t].  O(n²·m) worst case (Dinic), far better in
+    practice on the sparse graphs used here. *)
+
+val min_cut_via_flow : Graph.t -> int
+(** Global min cut as [min_{t ≠ 0} maxflow(0, t)]; requires n ≥ 2.
+    Returns 0 for disconnected graphs.  O(n) flow computations — slow,
+    used as an oracle on small graphs. *)

@@ -1,0 +1,28 @@
+(** Workload characterization metrics.
+
+    The benchmark harness prints a "workload zoo" table describing every
+    graph family it uses, so readers can judge which structural regime
+    each experiment exercises (the paper's bounds interact with density,
+    diameter, and degree spread). *)
+
+type t = {
+  n : int;
+  m : int;
+  total_weight : int;
+  min_degree : int;          (** unweighted *)
+  max_degree : int;
+  avg_degree : float;
+  min_weighted_degree : int; (** the λ upper bound *)
+  diameter : int;
+  triangle_density : float;
+      (** fraction of sampled length-2 paths that close into a triangle
+          (global clustering estimate; exact for small graphs) *)
+}
+
+val compute : Graph.t -> t
+(** Requires a connected graph. *)
+
+val pp_row : t -> string list
+(** Cells in the order of {!columns}. *)
+
+val columns : string list

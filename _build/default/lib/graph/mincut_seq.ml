@@ -1,0 +1,40 @@
+module Bitset = Mincut_util.Bitset
+
+type result = { value : int; side : Bitset.t }
+
+let brute_force g =
+  let n = Graph.n g in
+  if n < 2 || n > 24 then invalid_arg "Mincut_seq.brute_force: need 2 <= n <= 24";
+  (* fix node 0 out of X to halve the space *)
+  let best_value = ref max_int in
+  let best_mask = ref 0 in
+  let masks = 1 lsl (n - 1) in
+  for mask = 1 to masks - 1 do
+    let in_cut v = v > 0 && (mask lsr (v - 1)) land 1 = 1 in
+    let value = Graph.cut_value g ~in_cut in
+    if value < !best_value then begin
+      best_value := value;
+      best_mask := mask
+    end
+  done;
+  let side = Bitset.create n in
+  for v = 1 to n - 1 do
+    if (!best_mask lsr (v - 1)) land 1 = 1 then Bitset.add side v
+  done;
+  { value = !best_value; side }
+
+let min_cut g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Mincut_seq.min_cut: need n >= 2";
+  if not (Bfs.is_connected g) then
+    { value = 0; side = Bfs.component_of g 0 }
+  else
+    let r = Stoer_wagner.run g in
+    { value = r.Stoer_wagner.value; side = r.Stoer_wagner.side }
+
+let is_valid_side g side =
+  let n = Graph.n g in
+  Bitset.capacity side = n
+  &&
+  let c = Bitset.cardinal side in
+  c >= 1 && c <= n - 1

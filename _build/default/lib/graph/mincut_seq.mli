@@ -1,0 +1,17 @@
+(** Sequential minimum-cut front end and brute force reference.
+
+    [brute_force] enumerates all 2^(n-1) sides and is the base oracle for
+    property tests on tiny graphs; [min_cut] dispatches to Stoer–Wagner
+    and handles the degenerate cases uniformly. *)
+
+type result = { value : int; side : Mincut_util.Bitset.t }
+
+val brute_force : Graph.t -> result
+(** Exact by enumeration; requires 2 <= n <= 24. *)
+
+val min_cut : Graph.t -> result
+(** Exact minimum cut: 0 with a component side when disconnected,
+    Stoer–Wagner otherwise.  Requires n >= 2. *)
+
+val is_valid_side : Graph.t -> Mincut_util.Bitset.t -> bool
+(** A side is valid when it is a proper non-empty subset of V. *)

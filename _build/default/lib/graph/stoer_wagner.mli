@@ -1,0 +1,20 @@
+(** Stoer–Wagner deterministic global minimum cut.
+
+    This is the ground-truth oracle of the test suite and the benchmark
+    harness: every distributed result is compared against it.  O(n³)
+    time, O(n²) space — fine for the n ≤ a-few-thousand graphs the
+    simulator handles. *)
+
+type result = {
+  value : int;                     (** λ(G) *)
+  side : Mincut_util.Bitset.t;     (** one side X of an optimal cut *)
+}
+
+val run : Graph.t -> result
+(** Minimum cut of a connected graph with n >= 2.  Raises
+    [Invalid_argument] on smaller or disconnected inputs (the min cut of
+    a disconnected graph is 0 with an obvious side; callers handle that
+    case explicitly — see {!Mincut_seq.min_cut}). *)
+
+val min_cut_value : Graph.t -> int
+(** [run] then project; 0 for disconnected graphs, raises on n < 2. *)

@@ -1,0 +1,188 @@
+type t = {
+  graph_n : int;
+  root : int;
+  parent : int array;
+  parent_edge : int array;
+  children : int array array;
+  depth : int array;
+  preorder : int array;
+  tin : int array;
+  tout : int array;
+  size : int array;
+}
+
+let of_parents ~graph_n ~root ~parent ~parent_edge =
+  if Array.length parent <> graph_n || Array.length parent_edge <> graph_n then
+    invalid_arg "Tree.of_parents: array length mismatch";
+  if root < 0 || root >= graph_n || parent.(root) <> -1 then
+    invalid_arg "Tree.of_parents: bad root";
+  let child_count = Array.make graph_n 0 in
+  Array.iteri
+    (fun v p ->
+      if v <> root then begin
+        if p < 0 || p >= graph_n then invalid_arg "Tree.of_parents: bad parent";
+        child_count.(p) <- child_count.(p) + 1
+      end)
+    parent;
+  let children = Array.init graph_n (fun v -> Array.make child_count.(v) 0) in
+  let fill = Array.make graph_n 0 in
+  for v = 0 to graph_n - 1 do
+    if v <> root then begin
+      let p = parent.(v) in
+      children.(p).(fill.(p)) <- v;
+      fill.(p) <- fill.(p) + 1
+    end
+  done;
+  (* Iterative preorder DFS; also detects cycles / disconnection because a
+     valid tree visits exactly graph_n nodes. *)
+  let depth = Array.make graph_n 0 in
+  let preorder = Array.make graph_n (-1) in
+  let tin = Array.make graph_n (-1) in
+  let tout = Array.make graph_n (-1) in
+  let size = Array.make graph_n 1 in
+  let clock = ref 0 in
+  let idx = ref 0 in
+  (* stack entries: (node, next child index) *)
+  let stack = Stack.create () in
+  Stack.push (root, 0) stack;
+  tin.(root) <- !clock;
+  incr clock;
+  preorder.(!idx) <- root;
+  incr idx;
+  while not (Stack.is_empty stack) do
+    let v, ci = Stack.pop stack in
+    if ci < Array.length children.(v) then begin
+      Stack.push (v, ci + 1) stack;
+      let c = children.(v).(ci) in
+      depth.(c) <- depth.(v) + 1;
+      tin.(c) <- !clock;
+      incr clock;
+      if !idx >= graph_n then invalid_arg "Tree.of_parents: not a tree";
+      preorder.(!idx) <- c;
+      incr idx;
+      Stack.push (c, 0) stack
+    end
+    else begin
+      tout.(v) <- !clock;
+      incr clock
+    end
+  done;
+  if !idx <> graph_n then invalid_arg "Tree.of_parents: does not span all nodes";
+  (* subtree sizes bottom-up via reverse preorder *)
+  for i = graph_n - 1 downto 1 do
+    let v = preorder.(i) in
+    size.(parent.(v)) <- size.(parent.(v)) + size.(v)
+  done;
+  { graph_n; root; parent; parent_edge; children; depth; preorder; tin; tout; size }
+
+let of_edge_ids g ~root ids =
+  let n = Graph.n g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun id ->
+      let u, v = Graph.endpoints g id in
+      adj.(u) <- (v, id) :: adj.(u);
+      adj.(v) <- (u, id) :: adj.(v))
+    ids;
+  if List.length ids <> n - 1 then invalid_arg "Tree.of_edge_ids: wrong edge count";
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  Queue.add root q;
+  seen.(root) <- true;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (u, id) ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          parent.(u) <- v;
+          parent_edge.(u) <- id;
+          Queue.add u q
+        end)
+      adj.(v)
+  done;
+  if not (Array.for_all (fun b -> b) seen) then
+    invalid_arg "Tree.of_edge_ids: edges do not span the graph";
+  of_parents ~graph_n:n ~root ~parent ~parent_edge
+
+let bfs_tree g ~root =
+  let r = Bfs.run g ~source:root in
+  if not (Array.for_all (fun d -> d >= 0) r.dist) then
+    invalid_arg "Tree.bfs_tree: disconnected graph";
+  of_parents ~graph_n:(Graph.n g) ~root ~parent:r.parent ~parent_edge:r.parent_edge
+
+let is_ancestor t a v = t.tin.(a) <= t.tin.(v) && t.tout.(v) <= t.tout.(a)
+
+let ancestors t v =
+  let rec go acc v = if v = -1 then List.rev acc else go (v :: acc) t.parent.(v) in
+  go [] v
+
+let height t = Array.fold_left max 0 t.depth
+
+let n_nodes t = t.graph_n
+
+let tree_edges t =
+  let acc = ref [] in
+  Array.iteri (fun v p -> if p <> -1 then acc := (v, p) :: !acc) t.parent;
+  !acc
+
+let accumulate_up t x =
+  if Array.length x <> t.graph_n then invalid_arg "Tree.accumulate_up: length mismatch";
+  let y = Array.copy x in
+  for i = t.graph_n - 1 downto 1 do
+    let v = t.preorder.(i) in
+    y.(t.parent.(v)) <- y.(t.parent.(v)) + y.(v)
+  done;
+  y
+
+let subtree_members t v =
+  (* preorder indices of v↓ are contiguous: locate v then scan by tin/tout *)
+  let acc = ref [] in
+  Array.iter (fun u -> if is_ancestor t v u then acc := u :: !acc) t.preorder;
+  List.rev !acc
+
+module Lca = struct
+  type tree = t
+
+  type t = { up : int array array; depth : int array }
+
+  let build (tr : tree) =
+    let n = tr.graph_n in
+    let levels =
+      let rec go k = if 1 lsl k >= max 1 n then k + 1 else go (k + 1) in
+      go 0
+    in
+    let up = Array.make_matrix levels n tr.root in
+    Array.iteri (fun v p -> up.(0).(v) <- (if p = -1 then v else p)) tr.parent;
+    for k = 1 to levels - 1 do
+      for v = 0 to n - 1 do
+        up.(k).(v) <- up.(k - 1).(up.(k - 1).(v))
+      done
+    done;
+    { up; depth = tr.depth }
+
+  let query t a b =
+    let levels = Array.length t.up in
+    let a = ref a and b = ref b in
+    if t.depth.(!a) < t.depth.(!b) then begin
+      let tmp = !a in
+      a := !b;
+      b := tmp
+    end;
+    let diff = t.depth.(!a) - t.depth.(!b) in
+    for k = 0 to levels - 1 do
+      if diff land (1 lsl k) <> 0 then a := t.up.(k).(!a)
+    done;
+    if !a = !b then !a
+    else begin
+      for k = levels - 1 downto 0 do
+        if t.up.(k).(!a) <> t.up.(k).(!b) then begin
+          a := t.up.(k).(!a);
+          b := t.up.(k).(!b)
+        end
+      done;
+      t.up.(0).(!a)
+    end
+end

@@ -1,0 +1,69 @@
+(** Rooted spanning trees and subtree computations.
+
+    The paper's Section 2 is entirely about a spanning tree [T] of the
+    network rooted at [r]: the candidate cuts are the subtree cuts
+    [C(v↓)], and Karger's lemma evaluates them from the subtree
+    aggregates [δ↓] and [ρ↓].  This module provides the rooted-tree
+    representation shared by the sequential reference implementation and
+    the distributed algorithm, including an LCA oracle (binary lifting)
+    used by the sequential reference and by tests. *)
+
+type t = private {
+  graph_n : int;           (** number of nodes of the underlying graph *)
+  root : int;
+  parent : int array;      (** [-1] at the root *)
+  parent_edge : int array; (** underlying graph edge id, [-1] at the root *)
+  children : int array array;
+  depth : int array;       (** hop depth from the root *)
+  preorder : int array;    (** all nodes, parents before children *)
+  tin : int array;
+  tout : int array;        (** Euler interval: u ancestor-of v iff
+                               [tin u <= tin v && tout v <= tout u] *)
+  size : int array;        (** subtree sizes |v↓| *)
+}
+
+val of_parents : graph_n:int -> root:int -> parent:int array -> parent_edge:int array -> t
+(** Build from a parent map.  Raises [Invalid_argument] if the parent map
+    is not a tree spanning all [graph_n] nodes rooted at [root]. *)
+
+val of_edge_ids : Graph.t -> root:int -> int list -> t
+(** Build from the edge ids of a spanning tree of [g], oriented away from
+    [root].  Raises [Invalid_argument] if the edges do not form a
+    spanning tree. *)
+
+val bfs_tree : Graph.t -> root:int -> t
+(** The BFS tree of a connected graph. *)
+
+val is_ancestor : t -> int -> int -> bool
+(** [is_ancestor t a v] — true when [v ∈ a↓] (reflexive). *)
+
+val ancestors : t -> int -> int list
+(** Path from a node up to the root, inclusive, nearest first. *)
+
+val height : t -> int
+(** Maximum depth. *)
+
+val n_nodes : t -> int
+
+val tree_edges : t -> (int * int) list
+(** [(child, parent)] pairs. *)
+
+val accumulate_up : t -> int array -> int array
+(** [accumulate_up t x] returns [y] with [y.(v) = Σ_{u ∈ v↓} x.(u)] — the
+    subtree-sum operator that turns [δ] into [δ↓] and [ρ] into [ρ↓]. *)
+
+val subtree_members : t -> int -> int list
+(** Nodes of [v↓] (via the Euler interval; O(|v↓|) after O(n) setup). *)
+
+(** LCA oracle by binary lifting: O(n log n) preprocessing, O(log n)
+    queries. *)
+module Lca : sig
+  type tree = t
+
+  type t
+
+  val build : tree -> t
+
+  val query : t -> int -> int -> int
+  (** Least common ancestor of the two nodes. *)
+end

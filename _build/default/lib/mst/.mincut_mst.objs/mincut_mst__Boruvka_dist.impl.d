@@ -1,0 +1,1 @@
+lib/mst/boruvka_dist.ml: Array Hashtbl Int List Mincut_congest Mincut_graph Set

@@ -1,0 +1,1 @@
+lib/mst/boruvka_dist.mli: Mincut_congest Mincut_graph

@@ -1,0 +1,1 @@
+lib/mst/fragments.ml: Array Hashtbl List Mincut_graph Printf

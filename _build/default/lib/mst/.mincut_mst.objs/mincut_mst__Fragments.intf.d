@@ -1,0 +1,1 @@
+lib/mst/fragments.mli: Mincut_graph

@@ -1,0 +1,1 @@
+lib/treepack/tree_packing.ml: Array List Mincut_congest Mincut_graph Mincut_util Printf

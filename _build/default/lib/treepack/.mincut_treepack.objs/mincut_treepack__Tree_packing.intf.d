@@ -1,0 +1,1 @@
+lib/treepack/tree_packing.mli: Mincut_congest Mincut_graph

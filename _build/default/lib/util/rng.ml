@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling over the top 62 bits keeps the draw unbiased. *)
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) >= 0 then v else go ()
+  in
+  go ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then 1e-300 else u in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))
+
+let binomial t n p =
+  assert (n >= 0 && p >= 0.0 && p <= 1.0);
+  if p = 0.0 || n = 0 then 0
+  else if p = 1.0 then n
+  else if p > 0.5 then n - (let q = 1.0 -. p in
+                            (* mirror to keep the skip-sampling loop short *)
+                            let rec count acc pos =
+                              let pos = pos + 1 + geometric t q in
+                              if pos > n then acc else count (acc + 1) pos
+                            in
+                            count 0 0)
+  else
+    (* Skip-based counting: expected work O(np). *)
+    let rec count acc pos =
+      let pos = pos + 1 + geometric t p in
+      if pos > n then acc else count (acc + 1) pos
+    in
+    count 0 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,70 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let percentile xs q =
+  let n = Array.length xs in
+  assert (n > 0 && q >= 0.0 && q <= 1.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let summarize xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 0.5;
+    p90 = percentile xs 0.9;
+  }
+
+let linear_fit pts =
+  let n = float_of_int (Array.length pts) in
+  assert (Array.length pts >= 2);
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then (0.0, sy /. n)
+  else
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    (slope, (sy -. (slope *. sx)) /. n)
+
+let growth_exponent series =
+  let logged =
+    Array.of_list
+      (List.filter_map
+         (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+         (Array.to_list series))
+  in
+  if Array.length logged < 2 then 0.0 else fst (linear_fit logged)

@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers used by the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+val summarize : float array -> summary
+(** Summary of a non-empty sample. *)
+
+val mean : float array -> float
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [\[0,1\]], linear interpolation between
+    order statistics. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit pts] returns [(slope, intercept)] of the least-squares
+    line through the points.  Used to estimate empirical growth exponents
+    from log-log series. *)
+
+val growth_exponent : (float * float) array -> float
+(** [growth_exponent series] fits [y = c * x^a] on positive data by
+    regressing [log y] on [log x] and returns [a]. *)

@@ -1,0 +1,77 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let rule =
+    "|"
+    ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("### " ^ t.title ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells = Buffer.add_string buf (String.concat "," (List.map csv_escape cells) ^ "\n") in
+  row t.columns;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let csv_dir = ref None
+
+let set_csv_dir d = csv_dir := d
+
+let slug title =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then
+        Char.lowercase_ascii c
+      else '-')
+    (if String.length title > 40 then String.sub title 0 40 else title)
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (slug t.title ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (to_csv t);
+      close_out oc
+
+let fmt_float x =
+  if Float.is_integer x && abs_float x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x
+
+let fmt_ratio x = Printf.sprintf "%.3f" x

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables similar to the way systems
+    papers print evaluation tables, so the bench output can be diffed
+    against EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows must have as many cells as there are columns. *)
+
+val render : t -> string
+(** Render with aligned columns, header rule, and the caption on top. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line; additionally writes a
+    CSV copy when a sink directory is set. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row first; cells with commas are
+    quoted). *)
+
+val set_csv_dir : string option -> unit
+(** When set, every [print] also writes [<dir>/<slug-of-title>.csv] so
+    benchmark runs leave machine-readable artifacts for plotting. *)
+
+val fmt_float : float -> string
+(** Compact numeric formatting: integers without decimals, otherwise two
+    significant decimals. *)
+
+val fmt_ratio : float -> string
+(** Ratio formatting with three decimals ("1.000"). *)

@@ -1,0 +1,1 @@
+test/test_congest.ml: Array Bfs Generators Graph List Mincut_congest Mincut_graph Mincut_util Printf Test_helpers Tree

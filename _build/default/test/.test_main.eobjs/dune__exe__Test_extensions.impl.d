@@ -1,0 +1,1 @@
+test/test_extensions.ml: Array Generators Graph List Mincut_core Mincut_graph Mincut_treepack Mincut_util Printf Test_helpers

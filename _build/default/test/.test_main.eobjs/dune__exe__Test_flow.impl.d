@@ -1,0 +1,1 @@
+test/test_flow.ml: Array Generators Graph List Mincut_graph Mincut_util Printf Test_helpers

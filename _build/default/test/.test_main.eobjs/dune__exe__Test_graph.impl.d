@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Generators Graph List Mincut_graph Mincut_util String Test_helpers

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest Fun List Mincut_graph Mincut_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mincut_seq.ml: Array Bfs Generators Graph List Mincut_graph Mincut_util Printf Test_helpers

@@ -1,0 +1,1 @@
+test/test_mst_dist.ml: Alcotest Array Generators Graph List Mincut_congest Mincut_graph Mincut_mst Mincut_util Printf Test_helpers Tree

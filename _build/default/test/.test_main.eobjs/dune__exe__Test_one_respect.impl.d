@@ -1,0 +1,1 @@
+test/test_one_respect.ml: Alcotest Array Generators Graph List Mincut_congest Mincut_core Mincut_graph Mincut_util Printf String Test_helpers Tree

@@ -1,0 +1,1 @@
+test/test_small_cuts.ml: Alcotest Generators Graph List Mincut_congest Mincut_core Mincut_graph Mincut_util Test_helpers

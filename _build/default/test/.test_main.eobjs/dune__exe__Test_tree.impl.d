@@ -1,0 +1,1 @@
+test/test_tree.ml: Array Bfs Generators Graph List Mincut_graph Mincut_util Test_helpers Tree

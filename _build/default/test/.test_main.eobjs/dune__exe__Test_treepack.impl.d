@@ -1,0 +1,1 @@
+test/test_treepack.ml: Alcotest Array Generators Graph List Mincut_core Mincut_graph Mincut_mst Mincut_treepack Mincut_util Printf Test_helpers Tree

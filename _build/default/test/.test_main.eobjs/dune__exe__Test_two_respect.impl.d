@@ -1,0 +1,1 @@
+test/test_two_respect.ml: Alcotest Generators Graph List Mincut_core Mincut_graph Mincut_util Test_helpers Tree

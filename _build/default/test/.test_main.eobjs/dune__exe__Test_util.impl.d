@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Mincut_util QCheck2 String Test_helpers

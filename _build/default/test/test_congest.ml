@@ -1,0 +1,292 @@
+open Test_helpers
+module Network = Mincut_congest.Network
+module Config = Mincut_congest.Config
+module Cost = Mincut_congest.Cost
+module Pipeline = Mincut_congest.Pipeline
+module Primitives = Mincut_congest.Primitives
+module Diameter = Mincut_graph.Diameter
+
+let words1 _ = 1
+
+(* trivial program: every node sends its id to all neighbors once and
+   collects round-1 inbox *)
+type hello = { sent : bool; seen : int list; rounds_alive : int }
+
+let hello_program g : (hello, int) Network.program =
+  {
+    initial = (fun _ -> { sent = false; seen = []; rounds_alive = 0 });
+    step =
+      (fun ~node ~round:_ ~inbox st ->
+        let seen = List.map fst inbox @ st.seen in
+        if not st.sent then
+          ( { sent = true; seen; rounds_alive = st.rounds_alive + 1 },
+            Array.to_list (Array.map (fun (u, _) -> (u, node)) (Graph.adj g node)) )
+        else ({ st with seen; rounds_alive = st.rounds_alive + 1 }, []))
+      ;
+    halted = (fun st -> st.sent && st.rounds_alive >= 2);
+  }
+
+let test_engine_delivers_neighbors () =
+  let g = Generators.ring 5 in
+  let states, audit = Network.run ~words:words1 g (hello_program g) in
+  Array.iteri
+    (fun v st ->
+      let expected = List.sort compare (Array.to_list (Array.map fst (Graph.adj g v))) in
+      check_bool
+        (Printf.sprintf "node %d heard both neighbors" v)
+        true
+        (List.sort compare st.seen = expected))
+    states;
+  check_int "messages = 2m" (2 * Graph.m g) audit.Network.total_messages
+
+let test_engine_rejects_non_neighbor () =
+  let g = Generators.path 3 in
+  let prog : (bool, int) Network.program =
+    {
+      initial = (fun _ -> false);
+      step = (fun ~node ~round:_ ~inbox:_ _ -> if node = 0 then (true, [ (2, 0) ]) else (true, []));
+      halted = (fun b -> b);
+    }
+  in
+  check_bool "violation raised" true
+    (try
+       ignore (Network.run ~words:words1 g prog);
+       false
+     with Network.Model_violation _ -> true)
+
+let test_engine_rejects_duplicate_send () =
+  let g = Generators.path 2 in
+  let prog : (bool, int) Network.program =
+    {
+      initial = (fun _ -> false);
+      step =
+        (fun ~node ~round:_ ~inbox:_ _ ->
+          if node = 0 then (true, [ (1, 0); (1, 1) ]) else (true, []));
+      halted = (fun b -> b);
+    }
+  in
+  check_bool "duplicate send rejected" true
+    (try
+       ignore (Network.run ~words:words1 g prog);
+       false
+     with Network.Model_violation _ -> true)
+
+let test_engine_rejects_oversized () =
+  let g = Generators.path 2 in
+  let prog : (bool, int) Network.program =
+    {
+      initial = (fun _ -> false);
+      step = (fun ~node ~round:_ ~inbox:_ _ -> if node = 0 then (true, [ (1, 0) ]) else (true, []));
+      halted = (fun b -> b);
+    }
+  in
+  check_bool "oversized rejected" true
+    (try
+       ignore (Network.run ~cfg:(Config.with_budget 2) ~words:(fun _ -> 3) g prog);
+       false
+     with Network.Model_violation _ -> true)
+
+let test_engine_rejects_self_send () =
+  let g = Generators.path 3 in
+  let prog : (bool, int) Network.program =
+    {
+      initial = (fun _ -> false);
+      step = (fun ~node ~round:_ ~inbox:_ _ -> if node = 1 then (true, [ (1, 0) ]) else (true, []));
+      halted = (fun b -> b);
+    }
+  in
+  check_bool "self send rejected" true
+    (try
+       ignore (Network.run ~words:words1 g prog);
+       false
+     with Network.Model_violation _ -> true)
+
+let test_engine_watchdog () =
+  let g = Generators.path 2 in
+  let prog : (unit, int) Network.program =
+    {
+      initial = (fun _ -> ());
+      step = (fun ~node:_ ~round:_ ~inbox:_ () -> ((), []));
+      halted = (fun () -> false);
+    }
+  in
+  check_bool "watchdog fires" true
+    (try
+       ignore
+         (Network.run
+            ~cfg:{ Config.default with Config.max_rounds = 10 }
+            ~words:words1 g prog);
+       false
+     with Network.Model_violation _ -> true)
+
+let test_bfs_tree_real () =
+  List.iter
+    (fun (name, g) ->
+      let tree, cost = Primitives.bfs_tree g ~root:0 in
+      let r = Bfs.run g ~source:0 in
+      check_bool (name ^ " depths match bfs") true (tree.Tree.depth = r.Bfs.dist);
+      let ecc = Array.fold_left max 0 r.Bfs.dist in
+      check_bool
+        (Printf.sprintf "%s rounds %d ~ ecc %d" name cost.Cost.rounds ecc)
+        true
+        (cost.Cost.rounds >= ecc && cost.Cost.rounds <= ecc + 3))
+    (small_connected_graphs ())
+
+let test_convergecast_sum_real () =
+  List.iter
+    (fun (name, g) ->
+      let tree, _ = Primitives.bfs_tree g ~root:0 in
+      let values = Array.init (Graph.n g) (fun v -> v + 1) in
+      let total, cost = Primitives.convergecast_sum g ~tree ~values in
+      let n = Graph.n g in
+      check_int (name ^ " sum") (n * (n + 1) / 2) total;
+      check_bool (name ^ " rounds ~ height") true
+        (cost.Cost.rounds <= Tree.height tree + 2))
+    (small_connected_graphs ())
+
+let test_broadcast_items_real () =
+  List.iter
+    (fun (name, g) ->
+      let tree, _ = Primitives.bfs_tree g ~root:0 in
+      let items = Array.init 7 (fun i -> 100 + i) in
+      let per_node, cost = Primitives.broadcast_items g ~tree ~items in
+      Array.iteri
+        (fun v got -> check_bool (Printf.sprintf "%s node %d got all" name v) true (got = items))
+        per_node;
+      (* pipelining: depth + k, not depth * k *)
+      let bound = Pipeline.broadcast ~depth:(Tree.height tree) ~items:7 + 2 in
+      check_bool
+        (Printf.sprintf "%s rounds %d <= pipeline bound %d" name cost.Cost.rounds bound)
+        true (cost.Cost.rounds <= bound))
+    (small_connected_graphs ())
+
+let test_broadcast_empty () =
+  let g = Generators.path 3 in
+  let tree, _ = Primitives.bfs_tree g ~root:0 in
+  let _, cost = Primitives.broadcast_items g ~tree ~items:[||] in
+  check_int "no items, no rounds" 0 cost.Cost.rounds
+
+let test_upcast_distinct_real () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let tree, _ = Primitives.bfs_tree g ~root:0 in
+      (* every node holds its own id; root must collect all *)
+      let initial = Array.init n (fun v -> [ v ]) in
+      let collected, cost = Primitives.upcast_distinct g ~tree ~initial in
+      check_bool (name ^ " collected all ids") true (collected = List.init n (fun i -> i));
+      let bound = Pipeline.upcast ~depth:(Tree.height tree) ~items:n + 2 in
+      check_bool (name ^ " pipelined") true (cost.Cost.rounds <= bound))
+    (small_connected_graphs ())
+
+let test_upcast_with_duplicates () =
+  let g = Generators.path 6 in
+  let tree, _ = Primitives.bfs_tree g ~root:0 in
+  let initial = Array.make 6 [ 42; 7 ] in
+  let collected, _ = Primitives.upcast_distinct g ~tree ~initial in
+  check_bool "dedup" true (collected = [ 7; 42 ])
+
+let test_flood_max_real () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let values = Array.init n (fun v -> (v * 13) mod 17) in
+      let maxv = Array.fold_left max min_int values in
+      let learned, _ = Primitives.flood_max g ~values in
+      Array.iteri
+        (fun v got -> check_int (Printf.sprintf "%s node %d max" name v) maxv got)
+        learned)
+    (small_connected_graphs ())
+
+let test_engine_deterministic () =
+  let g = Generators.gnp_connected ~rng:(Mincut_util.Rng.create 12) 24 0.3 in
+  let run () =
+    let tree, cost = Primitives.bfs_tree g ~root:0 in
+    let total, c2 = Primitives.convergecast_sum g ~tree ~values:(Array.make 24 3) in
+    (tree.Tree.parent, cost.Cost.rounds, total, c2.Cost.rounds)
+  in
+  check_bool "bitwise identical reruns" true (run () = run ())
+
+let test_congestion_profile () =
+  let g = Generators.grid 5 5 in
+  let _, _, audit = Primitives.bfs_tree_audited g ~root:0 in
+  let profile = audit.Network.messages_per_round in
+  check_int "profile length = rounds" audit.Network.rounds (Array.length profile);
+  check_int "profile sums to total" audit.Network.total_messages
+    (Array.fold_left ( + ) 0 profile);
+  (* flooding: traffic starts at round 0 and ends before the drain *)
+  check_bool "round 0 active" true (profile.(0) > 0);
+  check_int "drain round is silent" 0 profile.(Array.length profile - 1)
+
+let test_audited_variants_agree () =
+  let g = Generators.torus 4 4 in
+  let t1, c1 = Primitives.bfs_tree g ~root:0 in
+  let t2, c2, _ = Primitives.bfs_tree_audited g ~root:0 in
+  check_bool "same tree" true (t1.Tree.parent = t2.Tree.parent);
+  check_int "same rounds" c1.Cost.rounds c2.Cost.rounds
+
+let test_flood_echo () =
+  List.iter
+    (fun (name, g) ->
+      let tree, cost = Primitives.flood_echo g ~root:0 in
+      let ecc = Tree.height tree in
+      check_bool
+        (Printf.sprintf "%s echo rounds %d ~ 2*ecc %d" name cost.Cost.rounds (2 * ecc))
+        true
+        (cost.Cost.rounds >= ecc && cost.Cost.rounds <= (2 * ecc) + 6);
+      check_int (name ^ " echo breakdown") 2 (List.length cost.Cost.breakdown))
+    (small_connected_graphs ())
+
+let test_cost_algebra () =
+  let open Cost in
+  let a = step "a" 3 ++ step "b" 4 in
+  check_int "sequential add" 7 a.rounds;
+  check_int "breakdown entries" 2 (List.length a.breakdown);
+  let p = par (step "x" 10) (step "y" 3) in
+  check_int "parallel max" 10 p.rounds;
+  check_int "sum" 17 (sum [ a; p ]).rounds;
+  check_int "zero" 0 zero.rounds
+
+let test_pipeline_formulas () =
+  check_int "broadcast" 12 (Pipeline.broadcast ~depth:5 ~items:7);
+  check_int "broadcast none" 0 (Pipeline.broadcast ~depth:5 ~items:0);
+  check_int "upcast" 9 (Pipeline.upcast ~depth:4 ~items:5);
+  check_int "convergecast" 6 (Pipeline.convergecast ~depth:5 ~max_edge_load:1);
+  check_int "exchange" 4 (Pipeline.exchange ~items:4)
+
+let test_bits_per_word () =
+  check_bool "log-ish" true (Config.bits_per_word ~n:1024 >= 10);
+  check_bool "monotone" true (Config.bits_per_word ~n:2048 >= Config.bits_per_word ~n:1024)
+
+let test_audit_word_budget_respected () =
+  (* all primitives must fit the default 4-word budget *)
+  let g = Generators.gnp_connected ~rng:(Mincut_util.Rng.create 2) 20 0.3 in
+  let tree, _ = Primitives.bfs_tree g ~root:0 in
+  let _, c1 = Primitives.convergecast_sum g ~tree ~values:(Array.make 20 5) in
+  let _, c2 = Primitives.broadcast_items g ~tree ~items:[| 1; 2; 3 |] in
+  check_bool "ran fine under budget" true (c1.Cost.rounds > 0 && c2.Cost.rounds > 0)
+
+let suite =
+  [
+    tc "engine: delivers to neighbors" test_engine_delivers_neighbors;
+    tc "engine: rejects non-neighbor sends" test_engine_rejects_non_neighbor;
+    tc "engine: rejects duplicate sends" test_engine_rejects_duplicate_send;
+    tc "engine: rejects oversized messages" test_engine_rejects_oversized;
+    tc "engine: rejects self sends" test_engine_rejects_self_send;
+    tc "engine: watchdog" test_engine_watchdog;
+    tc "primitives: bfs tree (real rounds)" test_bfs_tree_real;
+    tc "primitives: convergecast sum" test_convergecast_sum_real;
+    tc "primitives: pipelined broadcast" test_broadcast_items_real;
+    tc "primitives: broadcast of nothing" test_broadcast_empty;
+    tc "primitives: pipelined upcast" test_upcast_distinct_real;
+    tc "primitives: upcast dedups" test_upcast_with_duplicates;
+    tc "primitives: flood max" test_flood_max_real;
+    tc "primitives: flood with echo" test_flood_echo;
+    tc "engine: deterministic" test_engine_deterministic;
+    tc "engine: congestion profile" test_congestion_profile;
+    tc "primitives: audited variants agree" test_audited_variants_agree;
+    tc "cost: algebra" test_cost_algebra;
+    tc "pipeline: formulas" test_pipeline_formulas;
+    tc "config: bits per word" test_bits_per_word;
+    tc "audit: primitives fit word budget" test_audit_word_budget_respected;
+  ]

@@ -1,0 +1,142 @@
+open Test_helpers
+module Maxflow = Mincut_graph.Maxflow
+module Gomory_hu = Mincut_graph.Gomory_hu
+module Stoer_wagner = Mincut_graph.Stoer_wagner
+module Bitset = Mincut_util.Bitset
+module Rng = Mincut_util.Rng
+
+let test_maxflow_path () =
+  let g = Generators.path ~weights:{ Generators.wmin = 3; wmax = 3 } 5 in
+  let r = Maxflow.max_flow g ~s:0 ~t:4 in
+  check_int "path bottleneck" 3 r.Maxflow.value
+
+let test_maxflow_bottleneck () =
+  (* two wide roads joined by one narrow bridge *)
+  let g =
+    Graph.create ~n:4 [ (0, 1, 10); (1, 2, 1); (2, 3, 10) ]
+  in
+  check_int "narrow bridge" 1 (Maxflow.max_flow g ~s:0 ~t:3).Maxflow.value
+
+let test_maxflow_parallel_paths () =
+  (* K4 minus one edge: flow 0->3 via 1 and 2 *)
+  let g = Graph.create ~n:4 [ (0, 1, 1); (0, 2, 1); (1, 3, 1); (2, 3, 1); (1, 2, 5) ] in
+  check_int "two disjoint paths" 2 (Maxflow.max_flow g ~s:0 ~t:3).Maxflow.value
+
+let test_maxflow_complete () =
+  let g = Generators.complete 6 in
+  check_int "K6 s-t flow" 5 (Maxflow.max_flow g ~s:0 ~t:5).Maxflow.value
+
+let test_maxflow_disconnected_pair () =
+  let g = Graph.create ~n:4 [ (0, 1, 1); (2, 3, 1) ] in
+  check_int "no path" 0 (Maxflow.max_flow g ~s:0 ~t:3).Maxflow.value
+
+let test_maxflow_source_side_is_cut () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let r = Maxflow.max_flow g ~s:0 ~t:(n - 1) in
+      check_bool (name ^ " s in side") true (Bitset.mem r.Maxflow.source_side 0);
+      check_bool (name ^ " t not in side") false (Bitset.mem r.Maxflow.source_side (n - 1));
+      check_int (name ^ " side value = flow") r.Maxflow.value
+        (Graph.cut_of_bitset g r.Maxflow.source_side))
+    (small_connected_graphs ())
+
+let test_maxflow_rejects_s_eq_t () =
+  check_bool "s=t" true
+    (try
+       ignore (Maxflow.max_flow (Generators.path 3) ~s:1 ~t:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_min_cut_via_flow_matches_sw () =
+  List.iter
+    (fun (name, g) ->
+      check_int (name ^ " flow oracle") (Stoer_wagner.min_cut_value g)
+        (Maxflow.min_cut_via_flow g))
+    (small_connected_graphs ())
+
+let test_gomory_hu_structure () =
+  List.iter
+    (fun (name, g) ->
+      let t = Gomory_hu.build g in
+      check_int (name ^ " root parent") (-1) t.Gomory_hu.parent.(0);
+      (* all flows are genuine positive cuts *)
+      for v = 1 to Graph.n g - 1 do
+        check_bool (name ^ " flow positive") true (t.Gomory_hu.flow.(v) > 0)
+      done)
+    (small_connected_graphs ())
+
+let test_gomory_hu_global_min () =
+  List.iter
+    (fun (name, g) ->
+      let t = Gomory_hu.build g in
+      check_int (name ^ " GH global = SW") (Stoer_wagner.min_cut_value g)
+        (Gomory_hu.global_min_cut t))
+    (small_connected_graphs ())
+
+let test_gomory_hu_pairwise_matches_flow () =
+  let rng = Rng.create 71 in
+  for _ = 1 to 5 do
+    let g = Generators.gnp_connected ~rng 10 0.5 in
+    let t = Gomory_hu.build g in
+    for u = 0 to 9 do
+      for v = u + 1 to 9 do
+        check_int
+          (Printf.sprintf "pair (%d,%d)" u v)
+          (Maxflow.max_flow g ~s:u ~t:v).Maxflow.value
+          (Gomory_hu.min_cut_between t u v)
+      done
+    done
+  done
+
+let test_gomory_hu_known () =
+  (* barbell: every cross-clique pair bottlenecks at the bridge *)
+  let g = Generators.barbell 4 in
+  let t = Gomory_hu.build g in
+  check_int "cross-pair" 1 (Gomory_hu.min_cut_between t 0 7);
+  check_int "in-clique pair" 3 (Gomory_hu.min_cut_between t 0 1);
+  check_int "global" 1 (Gomory_hu.global_min_cut t);
+  check_int "widest" 3 (Gomory_hu.widest_bottleneck_pairs t)
+
+let qcheck_tests =
+  [
+    qtest ~count:30 "maxflow symmetric" (arbitrary_connected ~max_n:10 ())
+      (fun g ->
+        let n = Graph.n g in
+        (Maxflow.max_flow g ~s:0 ~t:(n - 1)).Maxflow.value
+        = (Maxflow.max_flow g ~s:(n - 1) ~t:0).Maxflow.value);
+    qtest ~count:30 "flow oracle = stoer-wagner" (arbitrary_connected ~max_n:10 ())
+      (fun g -> Maxflow.min_cut_via_flow g = Stoer_wagner.min_cut_value g);
+    qtest ~count:20 "GH bottleneck <= any concrete cut separating the pair"
+      (arbitrary_connected ~max_n:9 ())
+      (fun g ->
+        let t = Gomory_hu.build g in
+        let n = Graph.n g in
+        (* cut {u} separates u from everything: GH pair cut <= deg(u) *)
+        let ok = ref true in
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if u <> v then
+              if Gomory_hu.min_cut_between t u v > Graph.weighted_degree g u then
+                ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let suite =
+  [
+    tc "maxflow: path" test_maxflow_path;
+    tc "maxflow: bottleneck" test_maxflow_bottleneck;
+    tc "maxflow: parallel paths" test_maxflow_parallel_paths;
+    tc "maxflow: complete" test_maxflow_complete;
+    tc "maxflow: disconnected pair" test_maxflow_disconnected_pair;
+    tc "maxflow: source side is a min cut" test_maxflow_source_side_is_cut;
+    tc "maxflow: rejects s=t" test_maxflow_rejects_s_eq_t;
+    tc "maxflow: global oracle = stoer-wagner" test_min_cut_via_flow_matches_sw;
+    tc "gomory-hu: structure" test_gomory_hu_structure;
+    tc "gomory-hu: global min" test_gomory_hu_global_min;
+    tc "gomory-hu: pairwise = maxflow" test_gomory_hu_pairwise_matches_flow;
+    tc "gomory-hu: barbell known values" test_gomory_hu_known;
+  ]
+  @ qcheck_tests

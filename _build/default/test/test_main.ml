@@ -1,0 +1,20 @@
+(* Entry point aggregating all suites.  Each module exposes a [suite]
+   value; add new modules here as the library grows. *)
+
+let () =
+  Alcotest.run "mincut"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("tree", Test_tree.suite);
+      ("mincut-seq", Test_mincut_seq.suite);
+      ("flow", Test_flow.suite);
+      ("congest", Test_congest.suite);
+      ("mst-dist", Test_mst_dist.suite);
+      ("treepack", Test_treepack.suite);
+      ("one-respect", Test_one_respect.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("two-respect", Test_two_respect.suite);
+      ("small-cuts", Test_small_cuts.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,294 @@
+open Test_helpers
+module One_respect = Mincut_core.One_respect
+module One_respect_seq = Mincut_core.One_respect_seq
+module Params = Mincut_core.Params
+module Cost = Mincut_congest.Cost
+
+let trees_of g =
+  (* a few structurally different spanning trees of g *)
+  let bfs = Tree.bfs_tree g ~root:0 in
+  let kruskal = Tree.of_edge_ids g ~root:0 (Mincut_graph.Mst_seq.kruskal g) in
+  let last_root = Tree.bfs_tree g ~root:(Graph.n g - 1) in
+  [ ("bfs", bfs); ("mst", kruskal); ("bfs-from-last", last_root) ]
+
+let test_seq_matches_naive () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (tname, tree) ->
+          let r = One_respect_seq.run g tree in
+          let naive = One_respect_seq.naive_cuts g tree in
+          check_bool (Printf.sprintf "%s/%s cuts" name tname) true (r.One_respect_seq.cuts = naive))
+        (trees_of g))
+    (small_connected_graphs ())
+
+let test_seq_root_cut_zero () =
+  List.iter
+    (fun (name, g) ->
+      let tree = Tree.bfs_tree g ~root:0 in
+      let r = One_respect_seq.run g tree in
+      check_int (name ^ " C(root↓)=0") 0 r.One_respect_seq.cuts.(0))
+    (small_connected_graphs ())
+
+let test_seq_best_is_min () =
+  List.iter
+    (fun (name, g) ->
+      let tree = Tree.bfs_tree g ~root:0 in
+      let r = One_respect_seq.run g tree in
+      let min_nonroot = ref max_int in
+      Array.iteri
+        (fun v c -> if v <> 0 then min_nonroot := min !min_nonroot c)
+        r.One_respect_seq.cuts;
+      check_int (name ^ " best") !min_nonroot r.One_respect_seq.best_value)
+    (small_connected_graphs ())
+
+let test_seq_side_consistent () =
+  List.iter
+    (fun (name, g) ->
+      let tree = Tree.bfs_tree g ~root:0 in
+      let r = One_respect_seq.run g tree in
+      let side = One_respect_seq.side_of tree r.One_respect_seq.best_node in
+      check_int (name ^ " side value") r.One_respect_seq.best_value
+        (Graph.cut_of_bitset g side))
+    (small_connected_graphs ())
+
+let test_seq_karger_identity () =
+  (* δ↓ − 2ρ↓ decomposition is internally consistent *)
+  List.iter
+    (fun (name, g) ->
+      let tree = Tree.bfs_tree g ~root:0 in
+      let r = One_respect_seq.run g tree in
+      (* at the root: δ↓ = 2W and ρ↓ = W *)
+      let w = Graph.total_weight g in
+      check_int (name ^ " δ↓(root)=2W") (2 * w) r.One_respect_seq.delta_down.(0);
+      check_int (name ^ " ρ↓(root)=W") w r.One_respect_seq.rho_down.(0);
+      (* ρ sums to W *)
+      check_int (name ^ " Σρ=W") w (Array.fold_left ( + ) 0 r.One_respect_seq.rho))
+    (small_connected_graphs ())
+
+let test_distributed_matches_seq () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (tname, tree) ->
+          let seq = One_respect_seq.run g tree in
+          let dist = One_respect.run g tree in
+          check_bool
+            (Printf.sprintf "%s/%s dist cuts = seq cuts" name tname)
+            true
+            (dist.One_respect.cuts = seq.One_respect_seq.cuts);
+          check_int (name ^ " best value") seq.One_respect_seq.best_value
+            dist.One_respect.best_value)
+        (trees_of g))
+    (small_connected_graphs ())
+
+let test_lca_by_fragments_matches_oracle () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (tname, tree) ->
+          let oracle = Tree.Lca.build tree in
+          let results = One_respect.lca_by_fragments g tree in
+          Array.iteri
+            (fun i (z, case, items) ->
+              let e = Graph.edge g i in
+              check_int
+                (Printf.sprintf "%s/%s edge %d lca (case %d)" name tname i case)
+                (Tree.Lca.query oracle e.Graph.u e.Graph.v)
+                z;
+              check_bool "items non-negative" true (items >= 0))
+            results)
+        (trees_of g))
+    (small_connected_graphs ())
+
+let test_lca_cases_all_exercised () =
+  (* a deep grid: its BFS tree splits into several fragments, so edges
+     land in all three LCA cases *)
+  let g = Generators.grid 16 16 in
+  let tree = Tree.bfs_tree g ~root:0 in
+  let results = One_respect.lca_by_fragments g tree in
+  let count c = Array.fold_left (fun a (_, c', _) -> if c' = c then a + 1 else a) 0 results in
+  check_bool "case1 seen" true (count 1 > 0);
+  check_bool "case2 or case3 seen" true (count 2 + count 3 > 0)
+
+let test_stats_sqrt_bounds () =
+  let rng = Mincut_util.Rng.create 23 in
+  List.iter
+    (fun n ->
+      let g = Generators.gnp_connected ~rng n (8.0 *. log (float_of_int n) /. float_of_int n) in
+      let tree = Tree.bfs_tree g ~root:0 in
+      let r = One_respect.run g tree in
+      let s = r.One_respect.stats in
+      let sqrt_n = int_of_float (ceil (sqrt (float_of_int n))) in
+      check_bool
+        (Printf.sprintf "n=%d fragments %d <= sqrt + 1" n s.One_respect.fragment_count)
+        true
+        (s.One_respect.fragment_count <= sqrt_n + 1);
+      check_bool "fragment height" true (s.One_respect.max_fragment_height <= sqrt_n);
+      check_bool
+        (Printf.sprintf "merging %d < fragments" s.One_respect.merging_count)
+        true
+        (s.One_respect.merging_count <= s.One_respect.fragment_count);
+      check_bool "tf_prime O(sqrt n)" true
+        (s.One_respect.tf_prime_size <= (2 * sqrt_n) + 2))
+    [ 64; 100; 196 ]
+
+let test_cost_has_all_steps () =
+  let g = Generators.grid 6 6 in
+  let tree = Tree.bfs_tree g ~root:0 in
+  let r = One_respect.run g tree in
+  let labels = List.map fst r.One_respect.cost.Cost.breakdown in
+  List.iter
+    (fun prefix ->
+      check_bool (prefix ^ " present") true
+        (List.exists
+           (fun l -> String.length l >= String.length prefix
+                     && String.sub l 0 (String.length prefix) = prefix)
+           labels))
+    [ "bfs-tree"; "step1"; "step2"; "step3"; "step4"; "step5"; "finish" ];
+  check_bool "rounds positive" true (r.One_respect.cost.Cost.rounds > 0)
+
+let test_fast_params_same_answer () =
+  List.iter
+    (fun (name, g) ->
+      let tree = Tree.bfs_tree g ~root:0 in
+      let a = One_respect.run ~params:Params.default g tree in
+      let b = One_respect.run ~params:Params.fast g tree in
+      check_bool (name ^ " fast = real answers") true
+        (a.One_respect.cuts = b.One_respect.cuts))
+    (small_connected_graphs ())
+
+let test_rounds_scale_sublinearly () =
+  (* the measured rounds must grow far slower than n on a low-diameter
+     family: ratio rounds/n should drop as n quadruples *)
+  let rng = Mincut_util.Rng.create 5 in
+  let rounds n =
+    let g = Generators.gnp_connected ~rng n (8.0 *. log (float_of_int n) /. float_of_int n) in
+    let tree = Tree.bfs_tree g ~root:0 in
+    (One_respect.run ~params:Params.fast g tree).One_respect.cost.Cost.rounds
+  in
+  let r64 = rounds 64 and r1024 = rounds 1024 in
+  let ratio = float_of_int r1024 /. float_of_int r64 in
+  check_bool
+    (Printf.sprintf "rounds(1024)/rounds(64) = %.1f < 8 (vs 16 for linear)" ratio)
+    true (ratio < 8.0)
+
+let test_params_formulas () =
+  check_int "log* 2" 1 (Params.log_star 2);
+  check_int "log* 16" 3 (Params.log_star 16);
+  check_int "log* 65536" 4 (Params.log_star 65536);
+  check_bool "kp monotone in n" true
+    (Params.kp_mst_rounds Params.default ~n:1024 ~diameter:10
+    > Params.kp_mst_rounds Params.default ~n:256 ~diameter:10);
+  check_bool "kp linear in D" true
+    (Params.kp_mst_rounds Params.default ~n:256 ~diameter:100
+     - Params.kp_mst_rounds Params.default ~n:256 ~diameter:0
+    = 100);
+  check_int "sqrt target" 32 (Params.sqrt_target ~n:1024)
+
+let test_lca_cases_partition_edges () =
+  List.iter
+    (fun (name, g) ->
+      let tree = Tree.bfs_tree g ~root:0 in
+      let rs = One_respect.lca_by_fragments g tree in
+      check_int (name ^ " one case per edge") (Graph.m g) (Array.length rs);
+      Array.iter
+        (fun (_, case, _) ->
+          check_bool (name ^ " case in 1..3") true (case >= 1 && case <= 3))
+        rs)
+    (small_connected_graphs ())
+
+let test_target_override_changes_structure () =
+  let g = Generators.grid 8 8 in
+  let tree = Tree.bfs_tree g ~root:0 in
+  let small = One_respect.run ~params:Params.fast ~target:2 g tree in
+  let large = One_respect.run ~params:Params.fast ~target:64 g tree in
+  check_bool "more fragments at small target" true
+    (small.One_respect.stats.One_respect.fragment_count
+    > large.One_respect.stats.One_respect.fragment_count);
+  check_bool "same cuts regardless" true
+    (small.One_respect.cuts = large.One_respect.cuts)
+
+let test_soak_larger_instances () =
+  (* a heavier differential pass at sizes where the fragment machinery is
+     non-trivial: distributed knowledge = sequential reference, fragment
+     LCA = oracle, on 10 mixed instances up to n = 150 *)
+  let rng = Mincut_util.Rng.create 20140715 in
+  let instances =
+    [
+      Generators.grid 10 12;
+      Generators.torus 11 11;
+      Generators.path_of_cliques ~clique:6 ~length:20;
+      Generators.spider ~legs:10 ~leg_length:12;
+      Generators.gnp_connected ~rng 150 0.05;
+      Generators.gnp_connected ~rng ~weights:{ Generators.wmin = 1; wmax = 9 } 120 0.07;
+      Generators.random_regular ~rng 120 4;
+      Generators.planted_cut ~rng ~n:140 ~cut_edges:4 ~p_in:0.2 ();
+      Generators.random_tree ~rng 150;
+      Generators.hypercube 7;
+    ]
+  in
+  List.iteri
+    (fun i g ->
+      let tree = Tree.bfs_tree g ~root:(Graph.n g / 3) in
+      let seq = One_respect_seq.run g tree in
+      let dist = One_respect.run ~params:Params.default g tree in
+      check_bool (Printf.sprintf "soak %d cuts agree" i) true
+        (dist.One_respect.cuts = seq.One_respect_seq.cuts);
+      let oracle = Tree.Lca.build tree in
+      Array.iteri
+        (fun j (z, _, _) ->
+          let e = Graph.edge g j in
+          if Tree.Lca.query oracle e.Graph.u e.Graph.v <> z then
+            Alcotest.failf "soak %d: lca mismatch on edge %d" i j)
+        (One_respect.lca_by_fragments g tree))
+    instances
+
+let qcheck_tests =
+  [
+    qtest ~count:60 "dist = seq on random graphs and trees" (arbitrary_connected ())
+      (fun g ->
+        let tree = Tree.bfs_tree g ~root:(Graph.n g / 2) in
+        let seq = One_respect_seq.run g tree in
+        let dist = One_respect.run ~params:Params.fast g tree in
+        dist.One_respect.cuts = seq.One_respect_seq.cuts);
+    qtest ~count:60 "paper lca = oracle lca" (arbitrary_connected ())
+      (fun g ->
+        let tree = Tree.bfs_tree g ~root:0 in
+        let oracle = Tree.Lca.build tree in
+        let rs = One_respect.lca_by_fragments g tree in
+        let ok = ref true in
+        Array.iteri
+          (fun i (z, _, _) ->
+            let e = Graph.edge g i in
+            if Tree.Lca.query oracle e.Graph.u e.Graph.v <> z then ok := false)
+          rs;
+        !ok);
+    qtest ~count:60 "1-respecting min >= true min cut" (arbitrary_connected ())
+      (fun g ->
+        let tree = Tree.bfs_tree g ~root:0 in
+        let r = One_respect_seq.run g tree in
+        let lambda = (Mincut_graph.Stoer_wagner.run g).Mincut_graph.Stoer_wagner.value in
+        r.One_respect_seq.best_value >= lambda);
+  ]
+
+let suite =
+  [
+    tc "seq: matches naive cut evaluation" test_seq_matches_naive;
+    tc "seq: root cut is zero" test_seq_root_cut_zero;
+    tc "seq: best is the min" test_seq_best_is_min;
+    tc "seq: side consistent" test_seq_side_consistent;
+    tc "seq: Karger identity sanity" test_seq_karger_identity;
+    tc "dist: matches sequential reference" test_distributed_matches_seq;
+    tc "dist: fragment LCA matches oracle" test_lca_by_fragments_matches_oracle;
+    tc "dist: all LCA cases exercised" test_lca_cases_all_exercised;
+    tc "dist: O(sqrt n) structure bounds" test_stats_sqrt_bounds;
+    tc "dist: cost breakdown covers all steps" test_cost_has_all_steps;
+    tc "dist: fast params give same answers" test_fast_params_same_answer;
+    tc_slow "dist: rounds scale sublinearly" test_rounds_scale_sublinearly;
+    tc "params: formulas" test_params_formulas;
+    tc "dist: lca cases partition the edges" test_lca_cases_partition_edges;
+    tc "dist: target override" test_target_override_changes_structure;
+    tc_slow "dist: soak on larger mixed instances" test_soak_larger_instances;
+  ]
+  @ qcheck_tests

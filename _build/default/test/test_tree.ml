@@ -1,0 +1,233 @@
+open Test_helpers
+module Mst_seq = Mincut_graph.Mst_seq
+
+(* a fixed tree:        0
+                       / \
+                      1   2
+                     / \   \
+                    3   4   5
+                        |
+                        6            *)
+let fixed_tree () =
+  let parent = [| -1; 0; 0; 1; 1; 2; 4 |] in
+  let parent_edge = [| -1; 0; 1; 2; 3; 4; 5 |] in
+  Tree.of_parents ~graph_n:7 ~root:0 ~parent ~parent_edge
+
+let test_of_parents_basic () =
+  let t = fixed_tree () in
+  check_int "root" 0 t.Tree.root;
+  check_int "depth 6" 3 t.Tree.depth.(6);
+  check_int "height" 3 (Tree.height t);
+  check_int "size root" 7 t.Tree.size.(0);
+  check_int "size 1" 4 t.Tree.size.(1);
+  check_int "size 4" 2 t.Tree.size.(4)
+
+let test_of_parents_rejects_cycle () =
+  let parent = [| -1; 2; 1 |] in
+  let pe = [| -1; 0; 1 |] in
+  check_bool "cycle rejected" true
+    (try
+       ignore (Tree.of_parents ~graph_n:3 ~root:0 ~parent ~parent_edge:pe);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_parents_rejects_bad_root () =
+  let parent = [| 1; -1 |] in
+  check_bool "root must have parent -1" true
+    (try
+       ignore (Tree.of_parents ~graph_n:2 ~root:0 ~parent ~parent_edge:[| -1; -1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_preorder_property () =
+  let t = fixed_tree () in
+  let pos = Array.make 7 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) t.Tree.preorder;
+  Array.iteri
+    (fun v p -> if p >= 0 then check_bool "parent before child" true (pos.(p) < pos.(v)))
+    t.Tree.parent
+
+let test_is_ancestor () =
+  let t = fixed_tree () in
+  check_bool "root ancestor of all" true (Tree.is_ancestor t 0 6);
+  check_bool "reflexive" true (Tree.is_ancestor t 4 4);
+  check_bool "1 anc 6" true (Tree.is_ancestor t 1 6);
+  check_bool "2 not anc 6" false (Tree.is_ancestor t 2 6);
+  check_bool "child not anc of parent" false (Tree.is_ancestor t 6 4)
+
+let test_ancestors_list () =
+  let t = fixed_tree () in
+  check_bool "ancestors of 6" true (Tree.ancestors t 6 = [ 6; 4; 1; 0 ]);
+  check_bool "ancestors of root" true (Tree.ancestors t 0 = [ 0 ])
+
+let test_accumulate_up () =
+  let t = fixed_tree () in
+  let ones = Array.make 7 1 in
+  let sums = Tree.accumulate_up t ones in
+  check_bool "subtree sums equal sizes" true (sums = t.Tree.size);
+  let x = [| 1; 10; 100; 1000; 10000; 100000; 1000000 |] in
+  let s = Tree.accumulate_up t x in
+  check_int "leaf keeps own" 1000 s.(3);
+  check_int "node 4 = 4 + 6" 1010000 s.(4);
+  check_int "node 1" 1011010 s.(1);
+  check_int "root totals" 1111111 s.(0)
+
+let test_subtree_members () =
+  let t = fixed_tree () in
+  check_bool "members of 1" true (List.sort compare (Tree.subtree_members t 1) = [ 1; 3; 4; 6 ]);
+  check_bool "members of leaf" true (Tree.subtree_members t 5 = [ 5 ])
+
+let test_tree_edges () =
+  let t = fixed_tree () in
+  check_int "n-1 edges" 6 (List.length (Tree.tree_edges t))
+
+let test_of_edge_ids () =
+  let g = Generators.ring 6 in
+  (* drop edge 5 (between 5 and 0): path spanning tree *)
+  let ids = [ 0; 1; 2; 3; 4 ] in
+  let t = Tree.of_edge_ids g ~root:0 ids in
+  check_int "height is 5" 5 (Tree.height t);
+  check_int "parent of 5" 4 t.Tree.parent.(5)
+
+let test_of_edge_ids_rejects_nonspanning () =
+  let g = Generators.ring 6 in
+  check_bool "too few edges" true
+    (try
+       ignore (Tree.of_edge_ids g ~root:0 [ 0; 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bfs_tree_depth_matches_dist () =
+  List.iter
+    (fun (name, g) ->
+      let t = Tree.bfs_tree g ~root:0 in
+      let r = Bfs.run g ~source:0 in
+      check_bool (name ^ " depths = bfs dists") true (t.Tree.depth = r.Bfs.dist))
+    (small_connected_graphs ())
+
+let test_lca_fixed () =
+  let t = fixed_tree () in
+  let lca = Tree.Lca.build t in
+  check_int "lca(3,6)" 1 (Tree.Lca.query lca 3 6);
+  check_int "lca(3,5)" 0 (Tree.Lca.query lca 3 5);
+  check_int "lca(4,6)" 4 (Tree.Lca.query lca 4 6);
+  check_int "lca(v,v)" 3 (Tree.Lca.query lca 3 3);
+  check_int "lca with root" 0 (Tree.Lca.query lca 0 6)
+
+(* reference LCA by walking ancestor lists *)
+let naive_lca t a b =
+  let anc_a = Tree.ancestors t a in
+  let rec go b = if List.mem b anc_a then b else go t.Tree.parent.(b) in
+  go b
+
+let test_lca_matches_naive_random () =
+  let rng = Mincut_util.Rng.create 31 in
+  for _ = 1 to 10 do
+    let g = Generators.random_tree ~rng 40 in
+    let t = Tree.bfs_tree g ~root:0 in
+    let lca = Tree.Lca.build t in
+    for _ = 1 to 50 do
+      let a = Mincut_util.Rng.int rng 40 and b = Mincut_util.Rng.int rng 40 in
+      check_int "lca vs naive" (naive_lca t a b) (Tree.Lca.query lca a b)
+    done
+  done
+
+let test_mst_known_weights () =
+  (* square with diagonal: MST must take the three lightest edges *)
+  let g = Graph.create ~n:4 [ (0, 1, 1); (1, 2, 2); (2, 3, 5); (0, 3, 4); (0, 2, 3) ] in
+  let w ids = Mst_seq.tree_weight g ids in
+  check_int "kruskal weight" 7 (w (Mst_seq.kruskal g));
+  check_int "prim weight" 7 (w (Mst_seq.prim g));
+  check_int "boruvka weight" 7 (w (Mst_seq.boruvka g))
+
+let test_mst_algorithms_agree () =
+  List.iter
+    (fun (name, g) ->
+      let wk = Mst_seq.tree_weight g (Mst_seq.kruskal g) in
+      let wp = Mst_seq.tree_weight g (Mst_seq.prim g) in
+      let wb = Mst_seq.tree_weight g (Mst_seq.boruvka g) in
+      check_int (name ^ " kruskal=prim") wk wp;
+      check_int (name ^ " kruskal=boruvka") wk wb)
+    (small_connected_graphs ())
+
+let test_mst_is_spanning_tree () =
+  List.iter
+    (fun (name, g) ->
+      check_bool (name ^ " kruskal spans") true (Mst_seq.is_spanning_tree g (Mst_seq.kruskal g));
+      check_bool (name ^ " boruvka spans") true (Mst_seq.is_spanning_tree g (Mst_seq.boruvka g)))
+    (small_connected_graphs ())
+
+let test_kruskal_by_custom_order () =
+  (* maximize instead of minimize by flipping the comparison *)
+  let g = Graph.create ~n:3 [ (0, 1, 1); (1, 2, 2); (0, 2, 3) ] in
+  let ids =
+    Mst_seq.kruskal_by g ~cmp:(fun a b ->
+        match compare b.Graph.w a.Graph.w with 0 -> compare a.Graph.id b.Graph.id | c -> c)
+  in
+  check_int "max spanning tree weight" 5 (Mst_seq.tree_weight g ids)
+
+let test_boruvka_forest_on_disconnected () =
+  let g = Graph.create ~n:4 [ (0, 1, 1); (2, 3, 1) ] in
+  check_int "forest has 2 edges" 2 (List.length (Mst_seq.boruvka g))
+
+let qcheck_tests =
+  [
+    qtest "bfs tree: sizes sum bounded and root spans all" (arbitrary_connected ())
+      (fun g ->
+        let t = Tree.bfs_tree g ~root:0 in
+        t.Tree.size.(0) = Graph.n g);
+    qtest "lca of edge endpoints is an ancestor of both" (arbitrary_connected ())
+      (fun g ->
+        let t = Tree.bfs_tree g ~root:0 in
+        let lca = Tree.Lca.build t in
+        Array.for_all
+          (fun e ->
+            let l = Tree.Lca.query lca e.Graph.u e.Graph.v in
+            Tree.is_ancestor t l e.Graph.u && Tree.is_ancestor t l e.Graph.v)
+          (Graph.edges g));
+    qtest "mst weight minimal vs 50 random spanning trees" (arbitrary_connected ~max_n:10 ())
+      (fun g ->
+        let opt = Mst_seq.tree_weight g (Mst_seq.kruskal g) in
+        let rng = Mincut_util.Rng.create (Graph.n g + Graph.m g) in
+        let random_spanning_weight () =
+          (* random order kruskal = a uniform-ish spanning tree *)
+          let perm = Array.init (Graph.m g) (fun i -> i) in
+          Mincut_util.Rng.shuffle rng perm;
+          let order = Array.make (Graph.m g) 0 in
+          Array.iteri (fun pos id -> order.(id) <- pos) perm;
+          let ids =
+            Mst_seq.kruskal_by g ~cmp:(fun a b ->
+                compare order.(a.Graph.id) order.(b.Graph.id))
+          in
+          Mst_seq.tree_weight g ids
+        in
+        let ok = ref true in
+        for _ = 1 to 50 do
+          if random_spanning_weight () < opt then ok := false
+        done;
+        !ok);
+  ]
+
+let suite =
+  [
+    tc "tree: of_parents basic" test_of_parents_basic;
+    tc "tree: rejects cycles" test_of_parents_rejects_cycle;
+    tc "tree: rejects bad root" test_of_parents_rejects_bad_root;
+    tc "tree: preorder property" test_preorder_property;
+    tc "tree: is_ancestor" test_is_ancestor;
+    tc "tree: ancestors list" test_ancestors_list;
+    tc "tree: accumulate_up" test_accumulate_up;
+    tc "tree: subtree members" test_subtree_members;
+    tc "tree: tree_edges count" test_tree_edges;
+    tc "tree: of_edge_ids" test_of_edge_ids;
+    tc "tree: of_edge_ids rejects non-spanning" test_of_edge_ids_rejects_nonspanning;
+    tc "tree: bfs tree depths" test_bfs_tree_depth_matches_dist;
+    tc "lca: fixed cases" test_lca_fixed;
+    tc "lca: matches naive on random trees" test_lca_matches_naive_random;
+    tc "mst: known weights" test_mst_known_weights;
+    tc "mst: algorithms agree" test_mst_algorithms_agree;
+    tc "mst: spanning property" test_mst_is_spanning_tree;
+    tc "mst: custom order (max tree)" test_kruskal_by_custom_order;
+    tc "mst: boruvka forest when disconnected" test_boruvka_forest_on_disconnected;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,145 @@
+open Test_helpers
+module Tree_packing = Mincut_treepack.Tree_packing
+module Mst_seq = Mincut_graph.Mst_seq
+module Stoer_wagner = Mincut_graph.Stoer_wagner
+module Bitset = Mincut_util.Bitset
+
+let test_load_invariant_families () =
+  List.iter
+    (fun (name, g) ->
+      let p = Tree_packing.greedy g ~trees:5 in
+      check_bool (name ^ " load invariant") true (Tree_packing.load_invariant g p))
+    (small_connected_graphs ())
+
+let test_first_tree_is_mst () =
+  (* with all loads zero the packing order degenerates to (weight, id),
+     so the first packed tree is exactly the deterministic Kruskal MST *)
+  List.iter
+    (fun (name, g) ->
+      let p = Tree_packing.greedy g ~trees:1 in
+      check_bool (name ^ " first tree = kruskal") true
+        (List.sort compare p.Tree_packing.trees.(0)
+        = List.sort compare (Mst_seq.kruskal g)))
+    (small_connected_graphs ())
+
+let test_deterministic () =
+  let rng = Mincut_util.Rng.create 3 in
+  let g = Generators.gnp_connected ~rng 20 0.4 in
+  let a = Tree_packing.greedy g ~trees:6 in
+  let b = Tree_packing.greedy g ~trees:6 in
+  check_bool "same packing" true (a.Tree_packing.trees = b.Tree_packing.trees)
+
+let test_loads_spread () =
+  (* on a ring, consecutive MSTs must rotate which edge is left out, so
+     after n trees loads are balanced *)
+  let n = 6 in
+  let g = Generators.ring n in
+  let p = Tree_packing.greedy g ~trees:n in
+  Array.iter
+    (fun l -> check_bool "balanced ring loads" true (l = n - 1))
+    p.Tree_packing.loads
+
+let test_crossings () =
+  let g = Generators.ring 6 in
+  let p = Tree_packing.greedy g ~trees:1 in
+  (* cut {0,1,2} of the ring crosses 2 edges; a spanning tree crosses it
+     1 or 2 times *)
+  let in_cut v = v <= 2 in
+  let c = Tree_packing.crossings g p.Tree_packing.trees.(0) ~in_cut in
+  check_bool "crossings in {1,2}" true (c = 1 || c = 2)
+
+let test_one_respecting_found_on_known_cuts () =
+  (* planted cut: some packed tree must 1-respect the (unique, small)
+     min cut quickly *)
+  let rng = Mincut_util.Rng.create 11 in
+  List.iter
+    (fun cut_edges ->
+      let g = Generators.planted_cut ~rng ~n:24 ~cut_edges ~p_in:0.8 () in
+      let sw = Stoer_wagner.run g in
+      let in_cut = Bitset.mem sw.Stoer_wagner.side in
+      let p = Tree_packing.greedy g ~trees:24 in
+      match Tree_packing.first_one_respecting g p ~in_cut with
+      | Some i -> check_bool (Printf.sprintf "k=%d found at %d" cut_edges i) true (i < 24)
+      | None -> Alcotest.failf "no 1-respecting tree found for k=%d" cut_edges)
+    [ 1; 2; 3 ]
+
+let test_bridge_always_one_respected () =
+  (* λ=1: every spanning tree contains the bridge and crosses the cut once *)
+  let g = Generators.barbell 5 in
+  let p = Tree_packing.greedy g ~trees:3 in
+  let in_cut v = v < 5 in
+  Array.iter
+    (fun ids -> check_int "bridge crossed once" 1 (Tree_packing.crossings g ids ~in_cut))
+    p.Tree_packing.trees
+
+let test_recommended_trees_bounds () =
+  check_bool "min 8" true (Tree_packing.recommended_trees ~n:4 ~lambda_hint:1 >= 8);
+  check_bool "capped" true (Tree_packing.recommended_trees ~n:100000 ~lambda_hint:1000 <= 96)
+
+let test_theory_trees_growth () =
+  check_bool "monotone in lambda" true
+    (Tree_packing.theory_trees ~n:100 ~lambda:3 > Tree_packing.theory_trees ~n:100 ~lambda:2);
+  check_bool "theory bound is galactic" true (Tree_packing.theory_trees ~n:1024 ~lambda:10 > 1e9)
+
+let test_rejects_bad_input () =
+  check_bool "rejects 0 trees" true
+    (try
+       ignore (Tree_packing.greedy (Generators.path 3) ~trees:0);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "rejects disconnected" true
+    (try
+       ignore (Tree_packing.greedy (Graph.create ~n:4 [ (0, 1, 1); (2, 3, 1) ]) ~trees:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_first_tree_matches_distributed_mst () =
+  (* the trees the packing charges at the KP bound are exactly what the
+     real distributed MST computes under the same (weight, id) order *)
+  List.iter
+    (fun (name, g) ->
+      let p = Tree_packing.greedy g ~trees:1 in
+      let d = Mincut_mst.Boruvka_dist.run g in
+      check_bool (name ^ " packing tree 1 = distributed MST") true
+        (List.sort compare p.Tree_packing.trees.(0)
+        = List.sort compare d.Mincut_mst.Boruvka_dist.edge_ids))
+    (small_connected_graphs ())
+
+let qcheck_tests =
+  [
+    qtest ~count:50 "packing load invariant" (arbitrary_connected ()) (fun g ->
+        Tree_packing.load_invariant g (Tree_packing.greedy g ~trees:4));
+    qtest ~count:40 "some tree 1-respects some min cut within 4λ log n trees"
+      (arbitrary_connected ~max_n:12 ())
+      (fun g ->
+        let sw = Mincut_graph.Stoer_wagner.run g in
+        let lambda = sw.Mincut_graph.Stoer_wagner.value in
+        let trees = max 8 (4 * lambda * 4) in
+        let p = Tree_packing.greedy g ~trees in
+        (* the test checks the *algorithmic* property we rely on: the min
+           over trees of the best 1-respecting cut equals λ *)
+        let best = ref max_int in
+        Array.iter
+          (fun ids ->
+            let tree = Tree.of_edge_ids g ~root:0 ids in
+            let r = Mincut_core.One_respect_seq.run g tree in
+            best := min !best r.Mincut_core.One_respect_seq.best_value)
+          p.Tree_packing.trees;
+        !best = lambda);
+  ]
+
+let suite =
+  [
+    tc "packing: load invariant on families" test_load_invariant_families;
+    tc "packing: first tree spans" test_first_tree_is_mst;
+    tc "packing: deterministic" test_deterministic;
+    tc "packing: ring loads balance" test_loads_spread;
+    tc "packing: crossings" test_crossings;
+    tc "packing: finds 1-respecting tree on planted cuts" test_one_respecting_found_on_known_cuts;
+    tc "packing: bridges always 1-respected" test_bridge_always_one_respected;
+    tc "packing: recommended trees bounds" test_recommended_trees_bounds;
+    tc "packing: theory bound shape" test_theory_trees_growth;
+    tc "packing: input validation" test_rejects_bad_input;
+    tc "packing: first tree = real distributed MST" test_first_tree_matches_distributed_mst;
+  ]
+  @ qcheck_tests

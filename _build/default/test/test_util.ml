@@ -1,0 +1,259 @@
+open Test_helpers
+module Rng = Mincut_util.Rng
+module Stats = Mincut_util.Stats
+module Heap = Mincut_util.Heap
+module Bitset = Mincut_util.Bitset
+module Table = Mincut_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 3 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 6) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_rng_int_in () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 200 do
+    let x = Rng.int_in rng 5 8 in
+    check_bool "in closed range" true (x >= 5 && x <= 8)
+  done
+
+let test_rng_bernoulli_bias () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int trials in
+  check_bool "close to 0.3" true (abs_float (freq -. 0.3) < 0.02)
+
+let test_rng_binomial_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 500 do
+    let x = Rng.binomial rng 20 0.4 in
+    check_bool "within [0,n]" true (x >= 0 && x <= 20)
+  done
+
+let test_rng_binomial_mean () =
+  let rng = Rng.create 17 in
+  let total = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    total := !total + Rng.binomial rng 50 0.5
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  check_bool "mean near np=25" true (abs_float (mean -. 25.0) < 0.5)
+
+let test_rng_binomial_extremes () =
+  let rng = Rng.create 19 in
+  check_int "p=0" 0 (Rng.binomial rng 10 0.0);
+  check_int "p=1" 10 (Rng.binomial rng 10 1.0);
+  check_int "n=0" 0 (Rng.binomial rng 0 0.5)
+
+let test_rng_geometric () =
+  let rng = Rng.create 23 in
+  check_int "p=1 never skips" 0 (Rng.geometric rng 1.0);
+  for _ = 1 to 100 do
+    check_bool "non-negative" true (Rng.geometric rng 0.3 >= 0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 29 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "still a permutation" true (sorted = Array.init 20 (fun i -> i))
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  check_bool "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_bool "mean" true (abs_float (s.Stats.mean -. 3.0) < 1e-9);
+  check_bool "median" true (abs_float (s.Stats.median -. 3.0) < 1e-9);
+  check_bool "min" true (s.Stats.min = 1.0);
+  check_bool "max" true (s.Stats.max = 5.0);
+  check_int "count" 5 s.Stats.count
+
+let test_stats_stddev () =
+  let s = Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_bool "sample stddev" true (abs_float (s -. 2.13809) < 1e-3)
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_bool "p0" true (Stats.percentile xs 0.0 = 10.0);
+  check_bool "p100" true (Stats.percentile xs 1.0 = 40.0);
+  check_bool "p50 interpolates" true (abs_float (Stats.percentile xs 0.5 -. 25.0) < 1e-9)
+
+let test_stats_linear_fit () =
+  let slope, intercept = Stats.linear_fit [| (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) |] in
+  check_bool "slope 2" true (abs_float (slope -. 2.0) < 1e-9);
+  check_bool "intercept 1" true (abs_float (intercept -. 1.0) < 1e-9)
+
+let test_stats_growth_exponent () =
+  (* y = 4 x^1.5 *)
+  let pts = Array.map (fun x -> (x, 4.0 *. (x ** 1.5))) [| 1.0; 2.0; 4.0; 8.0; 16.0 |] in
+  check_bool "exponent 1.5" true (abs_float (Stats.growth_exponent pts -. 1.5) < 1e-6)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  check_bool "heap sort" true (drain [] = [ 1; 1; 2; 3; 4; 5; 9 ])
+
+let test_heap_of_array () =
+  let h = Heap.of_array ~cmp:compare [| 3; 1; 2 |] in
+  check_bool "peek min" true (Heap.peek h = Some 1);
+  check_int "size" 3 (Heap.size h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  check_bool "empty pop" true (Heap.pop h = None);
+  check_bool "is_empty" true (Heap.is_empty h)
+
+let test_heap_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 1; 5; 3 ];
+  check_bool "max-heap via flipped cmp" true (Heap.pop h = Some 5)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  check_bool "mem 0" true (Bitset.mem s 0);
+  check_bool "mem 63" true (Bitset.mem s 63);
+  check_bool "mem 99" true (Bitset.mem s 99);
+  check_bool "not mem 50" false (Bitset.mem s 50);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  check_bool "removed" false (Bitset.mem s 63);
+  check_int "cardinal after remove" 2 (Bitset.cardinal s)
+
+let test_bitset_iteration () =
+  let s = Bitset.create 10 in
+  List.iter (Bitset.add s) [ 2; 5; 7 ];
+  check_bool "to_list ordered" true (Bitset.to_list s = [ 2; 5; 7 ])
+
+let test_bitset_complement () =
+  let s = Bitset.create 5 in
+  Bitset.add s 1;
+  Bitset.add s 3;
+  Bitset.complement_inplace s;
+  check_bool "complement" true (Bitset.to_list s = [ 0; 2; 4 ])
+
+let test_bitset_copy_independent () =
+  let s = Bitset.create 5 in
+  Bitset.add s 1;
+  let c = Bitset.copy s in
+  Bitset.add c 2;
+  check_bool "original unchanged" false (Bitset.mem s 2);
+  check_bool "equal detects" false (Bitset.equal s c)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 5 in
+  Alcotest.check_raises "oob add" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 5)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  check_bool "has title" true
+    (String.length s > 0 && String.sub s 0 8 = "### demo");
+  check_bool "row count" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 5)
+
+let test_table_arity_check () =
+  let t = Table.create ~title:"x" ~columns:[ "a" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_formats () =
+  check_bool "int-like" true (Table.fmt_float 3.0 = "3");
+  check_bool "decimal" true (Table.fmt_float 3.25 = "3.25");
+  check_bool "ratio" true (Table.fmt_ratio 1.0 = "1.000")
+
+let qcheck_tests =
+  [
+    qtest "percentile within [min,max]"
+      QCheck2.Gen.(list_size (int_range 1 30) (float_bound_inclusive 100.0))
+      (fun xs ->
+        let a = Array.of_list xs in
+        let p = Stats.percentile a 0.7 in
+        p >= Array.fold_left Float.min a.(0) a && p <= Array.fold_left Float.max a.(0) a);
+    qtest "heap pop is sorted"
+      QCheck2.Gen.(list_size (int_range 0 50) (int_range (-100) 100))
+      (fun xs ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) xs;
+        let rec drain acc =
+          match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        drain [] = List.sort compare xs);
+    qtest "bitset add/mem roundtrip"
+      QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 63))
+      (fun xs ->
+        let s = Bitset.create 64 in
+        List.iter (Bitset.add s) xs;
+        List.for_all (Bitset.mem s) xs
+        && Bitset.cardinal s = List.length (List.sort_uniq compare xs));
+  ]
+
+let suite =
+  [
+    tc "rng: deterministic" test_rng_deterministic;
+    tc "rng: seeds differ" test_rng_different_seeds;
+    tc "rng: int range" test_rng_int_range;
+    tc "rng: int covers all values" test_rng_int_covers;
+    tc "rng: int_in closed range" test_rng_int_in;
+    tc "rng: bernoulli bias" test_rng_bernoulli_bias;
+    tc "rng: binomial bounds" test_rng_binomial_bounds;
+    tc "rng: binomial mean" test_rng_binomial_mean;
+    tc "rng: binomial extremes" test_rng_binomial_extremes;
+    tc "rng: geometric" test_rng_geometric;
+    tc "rng: shuffle is a permutation" test_rng_shuffle_permutation;
+    tc "rng: split independence" test_rng_split_independent;
+    tc "stats: summary" test_stats_summary;
+    tc "stats: stddev" test_stats_stddev;
+    tc "stats: percentile" test_stats_percentile;
+    tc "stats: linear fit" test_stats_linear_fit;
+    tc "stats: growth exponent" test_stats_growth_exponent;
+    tc "heap: sorts" test_heap_sorts;
+    tc "heap: of_array" test_heap_of_array;
+    tc "heap: empty" test_heap_empty;
+    tc "heap: custom order" test_heap_custom_order;
+    tc "bitset: basic ops" test_bitset_basic;
+    tc "bitset: iteration order" test_bitset_iteration;
+    tc "bitset: complement" test_bitset_complement;
+    tc "bitset: copy independence" test_bitset_copy_independent;
+    tc "bitset: bounds check" test_bitset_bounds;
+    tc "table: render" test_table_render;
+    tc "table: arity check" test_table_arity_check;
+    tc "table: number formats" test_table_formats;
+  ]
+  @ qcheck_tests
