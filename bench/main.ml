@@ -25,6 +25,7 @@ let experiments =
     ("a2", Experiments.a2);
     ("a3", Experiments.a3);
     ("a4", Experiments.a4);
+    ("serve", Workloads.serve_throughput);
   ]
 
 let run_one id =

@@ -278,9 +278,131 @@ let trace_cmd =
     Term.(
       const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg $ program_arg)
 
+(* ---- serve ------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) instead of stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Append a JSON-lines metrics snapshot to $(docv) when the server exits \
+       (readable with $(b,mincut stats))."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"PATH" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker pool width (1 = sequential; default: per machine)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "Result cache bound: resident entries." in
+    Arg.(value & opt int 4096 & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let cache_cost_arg =
+    let doc = "Result cache bound: total footprint in words." in
+    Arg.(value & opt int 16_777_216 & info [ "cache-cost" ] ~docv:"WORDS" ~doc)
+  in
+  let run socket metrics_path workers cache_entries cache_cost =
+    let module Service = Mincut_serve.Service in
+    let module Server = Mincut_serve.Server in
+    let module Metrics = Mincut_serve.Metrics in
+    let config =
+      {
+        Service.default_config with
+        Service.cache_entries;
+        cache_cost;
+        workers =
+          (match workers with
+          | Some w -> w
+          | None -> Service.default_config.Service.workers);
+      }
+    in
+    let service = Service.create ~config () in
+    let result =
+      try
+        (match socket with
+        | None -> Server.run_stdio service
+        | Some path ->
+            Printf.eprintf "serving on %s (SHUTDOWN to stop)\n%!" path;
+            Server.run_socket service ~path);
+        0
+      with e ->
+        Printf.eprintf "serve: %s\n" (Printexc.to_string e);
+        1
+    in
+    (match metrics_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        output_string oc (Metrics.to_json_line (Service.metrics service));
+        output_char oc '\n';
+        close_out oc);
+    result
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived solver service (line protocol over stdio or a \
+          Unix socket)")
+    Term.(
+      const run $ socket_arg $ metrics_arg $ workers_arg $ cache_entries_arg
+      $ cache_cost_arg)
+
+(* ---- stats ------------------------------------------------------------- *)
+
+let stats_cmd =
+  let file_arg =
+    let doc = "Metrics JSON-lines file written by $(b,mincut serve --metrics)." in
+    Arg.(value & pos 0 string "mincut-metrics.jsonl" & info [] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Echo the raw JSON line instead of the pretty table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run file json =
+    let module Metrics = Mincut_serve.Metrics in
+    match In_channel.with_open_text file In_channel.input_lines with
+    | exception Sys_error e ->
+        prerr_endline e;
+        1
+    | lines -> (
+        match List.rev (List.filter (fun l -> String.trim l <> "") lines) with
+        | [] ->
+            Printf.eprintf "%s: no metrics snapshots\n" file;
+            1
+        | last :: older ->
+            if json then begin
+              print_endline last;
+              0
+            end
+            else (
+              match Metrics.snapshot_of_json_line last with
+              | Error e ->
+                  Printf.eprintf "%s: %s\n" file e;
+                  1
+              | Ok snap ->
+                  Format.printf "%a@." Metrics.pp_snapshot snap;
+                  if older <> [] then
+                    Format.printf "(%d older snapshot%s in %s)@."
+                      (List.length older)
+                      (if List.length older = 1 then "" else "s")
+                      file;
+                  0))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Pretty-print the latest metrics snapshot of a serve run")
+    Term.(const run $ file_arg $ json_arg)
+
 (* ---- main -------------------------------------------------------------- *)
 
 let () =
   let doc = "distributed minimum cut (Nanongkai, PODC 2014) -- simulator and tools" in
   let info = Cmd.info "mincut" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; info_cmd; solve_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; info_cmd; solve_cmd; trace_cmd; serve_cmd; stats_cmd ]))

@@ -1,0 +1,45 @@
+module Graph = Mincut_graph.Graph
+module Hash = Mincut_util.Hash
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+
+let canonical_triples g =
+  let triples =
+    Array.map (fun e -> (e.Graph.u, e.Graph.v, e.Graph.w)) (Graph.edges g)
+  in
+  (* edges already satisfy u < v, so plain lexicographic order on the
+     triples is a canonical form of the multiset *)
+  Array.sort compare triples;
+  triples
+
+let structural_hash g =
+  let h = Hash.create () in
+  Hash.add_int h (Graph.n g);
+  Array.iter
+    (fun (u, v, w) ->
+      Hash.add_int h u;
+      Hash.add_int h v;
+      Hash.add_int h w)
+    (canonical_triples g);
+  Hash.value h
+
+let canonicalize g = Graph.of_array ~n:(Graph.n g) (canonical_triples g)
+
+let params_id (p : Params.t) =
+  Printf.sprintf "kp%d:%s:w%d:r%d" p.Params.kp_constant
+    (if p.Params.run_real_primitives then "real" else "charged")
+    p.Params.congest.Mincut_congest.Config.words_per_message
+    p.Params.congest.Mincut_congest.Config.max_rounds
+
+let algorithm_id = function
+  | Api.Exact_small_lambda -> "exact"
+  | Api.Exact_two_respect -> "exact2"
+  | Api.Approx e -> Printf.sprintf "approx:%h" e
+  | Api.Ghaffari_kuhn e -> Printf.sprintf "gk:%h" e
+  | Api.Su e -> Printf.sprintf "su:%h" e
+
+let key ~algorithm ~seed ~trees ~params g =
+  Printf.sprintf "%s|s%d|t%s|%s|n%d|m%d|w%d|%s" (algorithm_id algorithm) seed
+    (match trees with None -> "-" | Some t -> string_of_int t)
+    (params_id params) (Graph.n g) (Graph.m g) (Graph.total_weight g)
+    (Hash.to_hex (structural_hash g))

@@ -1,0 +1,38 @@
+(** Minimal JSON values: emit and parse.
+
+    The serving layer exports metrics snapshots as JSON lines and the
+    benchmark harness emits BENCH artifacts, but the repo deliberately
+    carries no JSON dependency.  This module implements the small subset
+    we need: the full value grammar on output, and a strict
+    recursive-descent parser sufficient to read back what [to_string]
+    produces (numbers, strings with the common escapes, arrays,
+    objects, booleans, null). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Floats are printed with enough
+    digits to round-trip; NaN/infinity are rendered as [null] since JSON
+    cannot represent them. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. *)
+
+(** Accessors used by readers; all are total and return [None] on shape
+    mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

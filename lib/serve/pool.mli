@@ -1,0 +1,29 @@
+(** Worker pool: data-parallel map over OCaml 5 domains.
+
+    [map] fans an array of independent jobs over [workers] domains and
+    returns results in input order.  Jobs must be self-contained — the
+    service hands each worker its own graph copy and derives RNG state
+    from the per-request seed, so nothing mutable is shared; the pool
+    itself shares only an atomic next-job counter and the (disjointly
+    indexed) result slots.
+
+    With [workers = 1] (or single-element inputs) no domain is spawned
+    and the map degrades to a plain sequential loop — the fallback for
+    runtimes or deployments where spawning domains is undesirable.
+    Domains are spawned per [map] call and joined before it returns;
+    at service batch granularity (many CONGEST simulations per call)
+    spawn cost is noise. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Default worker count: [Domain.recommended_domain_count], capped at 8
+    (the simulator is memory-bandwidth-hungry; more domains than memory
+    channels buys nothing).  Values < 1 are clamped to 1. *)
+
+val workers : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f jobs] applies [f] to every job.  If any application raises,
+    the remaining jobs still run, every domain is joined, and the first
+    (lowest-index) exception is re-raised in the calling domain. *)

@@ -1,0 +1,144 @@
+module Api = Mincut_core.Api
+
+type source =
+  | Named of string
+  | Family of { family : string; size : int; gseed : int; weight_max : int }
+
+type solve_args = {
+  source : source;
+  algorithm : Api.algorithm;
+  seed : int;
+  trees : int option;
+  priority : int;
+  deadline_ms : float option;
+}
+
+type command =
+  | Graph_def of { name : string; n : int; m : int }
+  | Solve of solve_args
+  | Submit of solve_args
+  | Flush
+  | Stats
+  | Ping
+  | Help
+  | Quit
+  | Shutdown
+  | Nop
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let kv_args toks =
+  List.fold_left
+    (fun acc tok ->
+      let* acc = acc in
+      match String.index_opt tok '=' with
+      | Some i ->
+          let k = String.sub tok 0 i in
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          Ok ((String.lowercase_ascii k, v) :: acc)
+      | None -> Error (Printf.sprintf "expected key=value, got %S" tok))
+    (Ok []) toks
+
+let int_arg args key default =
+  match List.assoc_opt key args with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "%s: expected an integer, got %S" key v))
+
+let float_arg args key =
+  match List.assoc_opt key args with
+  | None -> Ok None
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "%s: expected a number, got %S" key v))
+
+let parse_solve_args toks =
+  let* args = kv_args toks in
+  let* source =
+    match (List.assoc_opt "graph" args, List.assoc_opt "family" args) with
+    | Some name, None -> Ok (Named name)
+    | None, Some family ->
+        let* size = int_arg args "size" 64 in
+        let* gseed = int_arg args "gseed" 0 in
+        let* weight_max = int_arg args "wmax" 1 in
+        Ok (Family { family; size; gseed; weight_max })
+    | Some _, Some _ -> Error "give either graph= or family=, not both"
+    | None, None -> Error "missing graph source: graph=<name> or family=<fam>"
+  in
+  let* epsilon =
+    let* e = float_arg args "epsilon" in
+    Ok (Option.value e ~default:0.5)
+  in
+  let* algorithm =
+    match Option.map String.lowercase_ascii (List.assoc_opt "algo" args) with
+    | None | Some "exact" -> Ok Api.Exact_small_lambda
+    | Some "exact2" -> Ok Api.Exact_two_respect
+    | Some "approx" -> Ok (Api.Approx epsilon)
+    | Some "gk" -> Ok (Api.Ghaffari_kuhn epsilon)
+    | Some "su" -> Ok (Api.Su epsilon)
+    | Some other -> Error (Printf.sprintf "unknown algorithm %S" other)
+  in
+  let* seed = int_arg args "seed" 0 in
+  let* trees =
+    match List.assoc_opt "trees" args with
+    | None -> Ok None
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some i -> Ok (Some i)
+        | None -> Error (Printf.sprintf "trees: expected an integer, got %S" v))
+  in
+  let* priority = int_arg args "priority" 0 in
+  let* deadline_ms = float_arg args "deadline-ms" in
+  Ok { source; algorithm; seed; trees; priority; deadline_ms }
+
+let parse line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match tokens line with
+  | [] -> Ok Nop
+  | verb :: rest -> (
+      match String.uppercase_ascii verb with
+      | "GRAPH" -> (
+          match rest with
+          | [ name; n; m ] -> (
+              match (int_of_string_opt n, int_of_string_opt m) with
+              | Some n, Some m when n >= 2 && m >= 0 -> Ok (Graph_def { name; n; m })
+              | _ -> Error "GRAPH: bad <n> or <m>")
+          | _ -> Error "usage: GRAPH <name> <n> <m>")
+      | "SOLVE" ->
+          let* args = parse_solve_args rest in
+          Ok (Solve args)
+      | "SUBMIT" ->
+          let* args = parse_solve_args rest in
+          Ok (Submit args)
+      | "FLUSH" -> Ok Flush
+      | "STATS" -> Ok Stats
+      | "PING" -> Ok Ping
+      | "HELP" -> Ok Help
+      | "QUIT" -> Ok Quit
+      | "SHUTDOWN" -> Ok Shutdown
+      | other -> Error (Printf.sprintf "unknown verb %S (try HELP)" other))
+
+let format_response (r : Request.response) =
+  Printf.sprintf "value=%d rounds=%d cached=%b ms=%.3f key=%s"
+    r.Request.summary.Api.value r.Request.summary.Api.rounds r.Request.cached
+    r.Request.elapsed_ms r.Request.key
+
+let help_lines =
+  [
+    "GRAPH <name> <n> <m>   register a graph; next m lines: u v w";
+    "SOLVE graph=<name>|family=<fam> [size= gseed= wmax=] [algo=exact|exact2|approx|gk|su] [epsilon=] [seed=] [trees=]";
+    "SUBMIT <solve args> [priority=] [deadline-ms=]   -> QUEUED <ticket>";
+    "FLUSH                  run pending batches -> RESULT lines + DONE";
+    "STATS                  one-line JSON metrics snapshot";
+    "PING | HELP | QUIT | SHUTDOWN";
+  ]

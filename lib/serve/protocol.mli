@@ -1,0 +1,59 @@
+(** The service's line protocol: one request per line, one (or, for
+    [FLUSH] and [GRAPH], a few) response lines per request.
+
+    Verbs (case-insensitive; arguments are [key=value] tokens):
+
+    {v
+    GRAPH <name> <n> <m>     register a graph under <name>; the next m
+                             lines are "u v w" edges (0-based endpoints)
+    SOLVE <args>             solve synchronously through the cache
+    SUBMIT <args>            enqueue; answered by the next FLUSH
+    FLUSH                    drain the queue as coalesced batches on the
+                             worker pool; RESULT line per ticket + DONE
+    STATS                    one-line JSON metrics snapshot
+    PING / HELP / QUIT       liveness, verb list, end of session
+    SHUTDOWN                 end of session and stop accepting clients
+    v}
+
+    [SOLVE]/[SUBMIT] arguments: a graph source — [graph=<name>] for a
+    registered graph, or [family=<fam>] with optional [size=] [gseed=]
+    [wmax=] for a generator from the workload zoo — plus [algo=]
+    (exact|exact2|approx|gk|su), [epsilon=], [seed=], [trees=], and for
+    SUBMIT [priority=] and [deadline-ms=].
+
+    Responses: [OK …] / [QUEUED <ticket>] / [RESULT <ticket> …] /
+    [DONE <count>] / [STATS <json>] / [PONG] / [BYE] / [ERR <message>]. *)
+
+type source =
+  | Named of string
+  | Family of { family : string; size : int; gseed : int; weight_max : int }
+
+type solve_args = {
+  source : source;
+  algorithm : Mincut_core.Api.algorithm;
+  seed : int;
+  trees : int option;
+  priority : int;
+  deadline_ms : float option;  (** relative; server anchors it at submit time *)
+}
+
+type command =
+  | Graph_def of { name : string; n : int; m : int }
+  | Solve of solve_args
+  | Submit of solve_args
+  | Flush
+  | Stats
+  | Ping
+  | Help
+  | Quit
+  | Shutdown
+  | Nop  (** blank line or [#] comment: no response *)
+
+val parse : string -> (command, string) result
+(** Parse one request line. *)
+
+val format_response : Request.response -> string
+(** The [key=value] tail shared by [OK] and [RESULT] lines:
+    [value=… rounds=… cached=… ms=… key=…]. *)
+
+val help_lines : string list

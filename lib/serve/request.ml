@@ -1,0 +1,27 @@
+type t = {
+  graph : Mincut_graph.Graph.t;
+  algorithm : Mincut_core.Api.algorithm;
+  seed : int;
+  trees : int option;
+  priority : int;
+  deadline : float option;
+}
+
+let make ?(algorithm = Mincut_core.Api.Exact_small_lambda) ?(seed = 0) ?trees
+    ?(priority = 0) ?deadline graph =
+  { graph; algorithm; seed; trees; priority; deadline }
+
+type response = {
+  summary : Mincut_core.Api.summary;
+  cached : bool;
+  key : string;
+  elapsed_ms : float;
+}
+
+let compare_order (seq_a, a) (seq_b, b) =
+  let c = compare b.priority a.priority in
+  if c <> 0 then c
+  else
+    let d x = match x.deadline with Some d -> d | None -> infinity in
+    let c = compare (d a) (d b) in
+    if c <> 0 then c else compare seq_a seq_b

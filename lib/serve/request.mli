@@ -1,0 +1,40 @@
+(** Solve requests and responses — the unit of work the service accepts.
+
+    A request pairs a graph with the algorithm selection that
+    [Mincut_core.Api.min_cut] takes, plus scheduling attributes:
+    [priority] (higher runs first) and an optional [deadline] (an
+    absolute [Unix.gettimeofday]-style timestamp; earlier deadlines run
+    first within a priority class, and completions past their deadline
+    are counted in the metrics but still answered). *)
+
+type t = {
+  graph : Mincut_graph.Graph.t;
+  algorithm : Mincut_core.Api.algorithm;
+  seed : int;
+  trees : int option;
+  priority : int;
+  deadline : float option;
+}
+
+val make :
+  ?algorithm:Mincut_core.Api.algorithm ->
+  ?seed:int ->
+  ?trees:int ->
+  ?priority:int ->
+  ?deadline:float ->
+  Mincut_graph.Graph.t ->
+  t
+(** Defaults mirror [Api.min_cut]: exact algorithm, seed 0, packing
+    budget from params, priority 0, no deadline. *)
+
+type response = {
+  summary : Mincut_core.Api.summary;
+  cached : bool;       (** answered from the result cache *)
+  key : string;        (** content-addressed cache key *)
+  elapsed_ms : float;  (** service-side wall time for this answer *)
+}
+
+val compare_order : (int * t) -> (int * t) -> int
+(** Scheduling order on [(sequence, request)] pairs: priority descending,
+    then deadline ascending (absent = +∞), then submission sequence —
+    a total order, so batches are deterministic. *)

@@ -1,0 +1,203 @@
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Rng = Mincut_util.Rng
+
+type io = {
+  read_line : unit -> string option;
+  write_line : string -> unit;
+}
+
+let io_of_channels ic oc =
+  {
+    read_line = (fun () -> In_channel.input_line ic);
+    write_line =
+      (fun s ->
+        Out_channel.output_string oc s;
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc);
+  }
+
+type exit_reason = Quit | Shutdown | Eof
+
+type session = {
+  service : Service.t;
+  io : io;
+  named : (string, Graph.t) Hashtbl.t;
+  tickets : (Scheduler.ticket, unit) Hashtbl.t;  (* outstanding SUBMITs *)
+}
+
+let err session fmt = Printf.ksprintf (fun s -> session.io.write_line ("ERR " ^ s)) fmt
+
+(* Read the m edge lines following a GRAPH header.  On a malformed edge
+   the remaining announced lines are still consumed, so the client and
+   server never disagree about where the edge list ends. *)
+let read_graph_def session ~name ~n ~m =
+  let triples = Array.make m (0, 0, 0) in
+  let rec read i =
+    if i = m then Ok ()
+    else
+      match session.io.read_line () with
+      | None -> Error "end of input inside GRAPH edge list"
+      | Some line -> (
+          let bad () =
+            let e = Error (Printf.sprintf "edge %d: expected 'u v w'" i) in
+            (* drain the rest of the announced payload *)
+            let rec drain j =
+              if j < m then
+                match session.io.read_line () with
+                | None -> ()
+                | Some _ -> drain (j + 1)
+            in
+            drain (i + 1);
+            e
+          in
+          match
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          with
+          | [ u; v; w ] -> (
+              match
+                (int_of_string_opt u, int_of_string_opt v, int_of_string_opt w)
+              with
+              | Some u, Some v, Some w ->
+                  triples.(i) <- (u, v, w);
+                  read (i + 1)
+              | _ -> bad ())
+          | _ -> bad ())
+  in
+  match read 0 with
+  | Error e -> Error e
+  | Ok () -> (
+      match Graph.of_array ~n triples with
+      | g ->
+          Hashtbl.replace session.named name g;
+          Ok g
+      | exception Invalid_argument msg -> Error msg)
+
+let resolve_source session (src : Protocol.source) =
+  match src with
+  | Protocol.Named name -> (
+      match Hashtbl.find_opt session.named name with
+      | Some g -> Ok g
+      | None -> Error (Printf.sprintf "unknown graph %S (register with GRAPH)" name))
+  | Protocol.Family { family; size; gseed; weight_max } ->
+      let rng = Rng.create gseed in
+      let weights =
+        if weight_max <= 1 then None
+        else Some { Generators.wmin = 1; wmax = weight_max }
+      in
+      Generators.by_name ~rng ?weights ~name:family ~size ()
+
+let request_of_args session (a : Protocol.solve_args) =
+  match resolve_source session a.Protocol.source with
+  | Error e -> Error e
+  | Ok g ->
+      let deadline =
+        Option.map
+          (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0))
+          a.Protocol.deadline_ms
+      in
+      Ok
+        (Request.make ~algorithm:a.Protocol.algorithm ~seed:a.Protocol.seed
+           ?trees:a.Protocol.trees ~priority:a.Protocol.priority ?deadline g)
+
+let handle_command session cmd =
+  let io = session.io in
+  match cmd with
+  | Protocol.Nop -> None
+  | Protocol.Ping ->
+      io.write_line "PONG";
+      None
+  | Protocol.Help ->
+      List.iter io.write_line Protocol.help_lines;
+      None
+  | Protocol.Quit ->
+      io.write_line "BYE";
+      Some Quit
+  | Protocol.Shutdown ->
+      io.write_line "BYE";
+      Some Shutdown
+  | Protocol.Stats ->
+      io.write_line
+        ("STATS " ^ Json.to_string (Metrics.to_json (Service.snapshot session.service)));
+      None
+  | Protocol.Graph_def { name; n; m } ->
+      (match read_graph_def session ~name ~n ~m with
+      | Ok g ->
+          io.write_line
+            (Printf.sprintf "OK graph %s n=%d m=%d hash=%s" name (Graph.n g)
+               (Graph.m g)
+               (Mincut_util.Hash.to_hex (Graph_key.structural_hash g)))
+      | Error e -> err session "GRAPH %s: %s" name e);
+      None
+  | Protocol.Solve args ->
+      (match request_of_args session args with
+      | Error e -> err session "%s" e
+      | Ok req -> (
+          match Service.solve session.service req with
+          | resp -> io.write_line ("OK " ^ Protocol.format_response resp)
+          | exception e -> err session "solve failed: %s" (Printexc.to_string e)));
+      None
+  | Protocol.Submit args ->
+      (match request_of_args session args with
+      | Error e -> err session "%s" e
+      | Ok req ->
+          let ticket = Service.submit session.service req in
+          Hashtbl.replace session.tickets ticket ();
+          io.write_line (Printf.sprintf "QUEUED %d" ticket));
+      None
+  | Protocol.Flush ->
+      (match Service.flush session.service with
+      | responses ->
+          List.iter
+            (fun (ticket, resp) ->
+              Hashtbl.remove session.tickets ticket;
+              io.write_line
+                (Printf.sprintf "RESULT %d %s" ticket (Protocol.format_response resp)))
+            responses;
+          io.write_line (Printf.sprintf "DONE %d" (List.length responses))
+      | exception e -> err session "flush failed: %s" (Printexc.to_string e));
+      None
+
+let run service io =
+  let session =
+    { service; io; named = Hashtbl.create 8; tickets = Hashtbl.create 8 }
+  in
+  let rec loop () =
+    match io.read_line () with
+    | None -> Eof
+    | Some line -> (
+        match Protocol.parse line with
+        | Error e ->
+            err session "%s" e;
+            loop ()
+        | Ok cmd -> (
+            match handle_command session cmd with
+            | Some reason -> reason
+            | None -> loop ()))
+  in
+  loop ()
+
+let run_stdio service = ignore (run service (io_of_channels stdin stdout))
+
+let run_socket service ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        let reason =
+          Fun.protect
+            ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+            (fun () -> run service (io_of_channels ic oc))
+        in
+        match reason with Shutdown -> () | Quit | Eof -> accept_loop ()
+      in
+      accept_loop ())

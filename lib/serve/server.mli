@@ -1,0 +1,32 @@
+(** Front-end loops speaking {!Protocol} over abstract line IO.
+
+    The core loop {!run} is IO-agnostic (a [read_line]/[write_line]
+    pair), so tests drive it with in-memory scripts and the CLI wraps
+    stdio or a Unix-domain socket around the very same code path. *)
+
+type io = {
+  read_line : unit -> string option;  (** [None] = end of stream *)
+  write_line : string -> unit;        (** must append its own newline *)
+}
+
+val io_of_channels : in_channel -> out_channel -> io
+(** Flushes the output channel after every line so interactive clients
+    see responses immediately. *)
+
+type exit_reason = Quit | Shutdown | Eof
+
+val run : Service.t -> io -> exit_reason
+(** Serve one session until [QUIT], [SHUTDOWN] or end of input.
+    Per-request solver errors (bad family name, disconnected graph, …)
+    are reported as [ERR] lines and never abort the session.  Named
+    graphs registered with [GRAPH] live for the session. *)
+
+val run_stdio : Service.t -> unit
+(** [run] over stdin/stdout. *)
+
+val run_socket : Service.t -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (unlinking a stale one),
+    serving clients one at a time — the service is single-domain by
+    design; concurrency lives in the worker pool, not in client
+    multiplexing — until a client sends [SHUTDOWN].  Removes the socket
+    file on exit. *)

@@ -1,0 +1,192 @@
+module Graph = Mincut_graph.Graph
+module Bitset = Mincut_util.Bitset
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+
+type config = {
+  params : Params.t;
+  cache_entries : int;
+  cache_cost : int;
+  workers : int;
+}
+
+let default_config =
+  {
+    params = Params.fast;
+    cache_entries = 4096;
+    cache_cost = 16_777_216;
+    workers = Pool.workers (Pool.create ());
+  }
+
+type t = {
+  cfg : config;
+  cache : Api.summary Cache.t;
+  scheduler : Scheduler.t;
+  pool : Pool.t;
+  metrics : Metrics.t;
+  (* instruments, resolved once *)
+  submitted : Metrics.counter;
+  completed : Metrics.counter;
+  cache_hit : Metrics.counter;
+  cache_miss : Metrics.counter;
+  coalesced : Metrics.counter;
+  batches : Metrics.counter;
+  rounds_charged : Metrics.counter;
+  deadline_missed : Metrics.counter;
+  cold_ms : Metrics.histogram;
+  warm_ms : Metrics.histogram;
+  q_depth : Metrics.gauge;
+  g_entries : Metrics.gauge;
+  g_cost : Metrics.gauge;
+}
+
+(* approximate resident footprint of a summary, in words: the side
+   bitset dominates, plus the breakdown list and fixed fields *)
+let summary_cost (s : Api.summary) =
+  8 + ((Bitset.capacity s.Api.side + 63) / 64) + (2 * List.length s.Api.breakdown)
+
+let key_of cfg (r : Request.t) =
+  Graph_key.key ~algorithm:r.Request.algorithm ~seed:r.Request.seed
+    ~trees:r.Request.trees ~params:cfg.params r.Request.graph
+
+let create ?(config = default_config) () =
+  let cfg = config in
+  let metrics = Metrics.create () in
+  {
+    cfg;
+    cache =
+      Cache.create ~max_entries:cfg.cache_entries ~max_cost:cfg.cache_cost
+        ~cost:summary_cost ();
+    scheduler = Scheduler.create ~key:(key_of cfg) ();
+    pool = Pool.create ~workers:cfg.workers ();
+    metrics;
+    submitted = Metrics.counter metrics "requests_submitted";
+    completed = Metrics.counter metrics "requests_completed";
+    cache_hit = Metrics.counter metrics "cache_hits";
+    cache_miss = Metrics.counter metrics "cache_misses";
+    coalesced = Metrics.counter metrics "requests_coalesced";
+    batches = Metrics.counter metrics "batches_solved";
+    rounds_charged = Metrics.counter metrics "rounds_charged";
+    deadline_missed = Metrics.counter metrics "deadlines_missed";
+    cold_ms = Metrics.histogram metrics "solve_cold_ms";
+    warm_ms = Metrics.histogram metrics "solve_warm_ms";
+    q_depth = Metrics.gauge metrics "queue_depth";
+    g_entries = Metrics.gauge metrics "cache_entries";
+    g_cost = Metrics.gauge metrics "cache_cost_words";
+  }
+
+let config t = t.cfg
+
+let key_of_request t r = key_of t.cfg r
+
+let refresh_gauges t =
+  Metrics.set t.g_entries (float_of_int (Cache.length t.cache));
+  Metrics.set t.g_cost (float_of_int (Cache.total_cost t.cache));
+  Metrics.set t.q_depth (float_of_int (Scheduler.pending t.scheduler))
+
+let run_solve cfg (r : Request.t) =
+  Api.min_cut ~params:cfg.params ~algorithm:r.Request.algorithm
+    ~seed:r.Request.seed ?trees:r.Request.trees
+    (Graph_key.canonicalize r.Request.graph)
+
+let note_completion t (r : Request.t) now =
+  Metrics.incr t.completed;
+  match r.Request.deadline with
+  | Some d when now > d -> Metrics.incr t.deadline_missed
+  | _ -> ()
+
+let solve t r =
+  Metrics.incr t.submitted;
+  let t0 = Unix.gettimeofday () in
+  let key = key_of t.cfg r in
+  let summary, cached =
+    match Cache.find t.cache key with
+    | Some s ->
+        Metrics.incr t.cache_hit;
+        (s, true)
+    | None ->
+        Metrics.incr t.cache_miss;
+        let s = run_solve t.cfg r in
+        Cache.add t.cache key s;
+        Metrics.incr ~by:s.Api.rounds t.rounds_charged;
+        (s, false)
+  in
+  let now = Unix.gettimeofday () in
+  let elapsed_ms = (now -. t0) *. 1000.0 in
+  Metrics.observe (if cached then t.warm_ms else t.cold_ms) elapsed_ms;
+  note_completion t r now;
+  refresh_gauges t;
+  { Request.summary; cached; key; elapsed_ms }
+
+let submit t r =
+  Metrics.incr t.submitted;
+  let ticket = Scheduler.submit t.scheduler r in
+  refresh_gauges t;
+  ticket
+
+let pending t = Scheduler.pending t.scheduler
+
+let flush t =
+  let batches = Scheduler.drain t.scheduler in
+  (* answer what the cache already knows; collect the rest *)
+  let todo = ref [] in
+  let answered = ref [] in
+  List.iter
+    (fun (tickets, (r : Request.t)) ->
+      let key = key_of t.cfg r in
+      let t0 = Unix.gettimeofday () in
+      match Cache.find t.cache key with
+      | Some s ->
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          Metrics.incr ~by:(List.length tickets) t.cache_hit;
+          List.iter
+            (fun tk -> answered := (tk, r, key, s, true, ms) :: !answered)
+            tickets
+      | None ->
+          Metrics.incr ~by:(List.length tickets) t.cache_miss;
+          Metrics.incr ~by:(List.length tickets - 1) t.coalesced;
+          todo := (tickets, r, key) :: !todo)
+    batches;
+  let todo = Array.of_list (List.rev !todo) in
+  (* concurrent part: pure solves only, one graph copy per job (the
+     canonical rebuild inside [run_solve] is that copy), solve time
+     measured inside the worker domain *)
+  let solved =
+    Pool.map t.pool
+      (fun (_, r, _) ->
+        let t0 = Unix.gettimeofday () in
+        let s = run_solve t.cfg r in
+        (s, (Unix.gettimeofday () -. t0) *. 1000.0))
+      todo
+  in
+  Array.iteri
+    (fun i (tickets, r, key) ->
+      let s, ms = solved.(i) in
+      Cache.add t.cache key s;
+      Metrics.incr ~by:s.Api.rounds t.rounds_charged;
+      Metrics.incr t.batches;
+      List.iter
+        (fun tk -> answered := (tk, r, key, s, false, ms) :: !answered)
+        tickets)
+    todo;
+  let now = Unix.gettimeofday () in
+  let responses =
+    !answered
+    |> List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> compare a b)
+    |> List.map (fun (tk, r, key, summary, cached, elapsed_ms) ->
+           Metrics.observe (if cached then t.warm_ms else t.cold_ms) elapsed_ms;
+           note_completion t r now;
+           (tk, { Request.summary; cached; key; elapsed_ms }))
+  in
+  refresh_gauges t;
+  responses
+
+let metrics t = t.metrics
+
+let snapshot t =
+  refresh_gauges t;
+  Metrics.snapshot t.metrics
+
+let cache_length t = Cache.length t.cache
+let cache_hits t = Cache.hits t.cache
+let cache_misses t = Cache.misses t.cache

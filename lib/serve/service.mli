@@ -1,0 +1,66 @@
+(** The solver service: one long-lived value owning the result cache,
+    the request scheduler, the worker pool and the metrics registry.
+
+    Two entry points:
+
+    - {!solve}: synchronous — answer one request now, through the cache.
+    - {!submit} + {!flush}: batched — accumulate requests, then drain
+      them as coalesced batches; distinct batches run concurrently on
+      the worker pool, duplicates are answered from the one solve.
+
+    {b Semantics.} Every request is answered as if by
+    [Api.min_cut ~params ~algorithm ~seed ?trees (canonical graph)],
+    where the canonical graph is {!Graph_key.canonicalize} of the
+    submitted one.  Fixing the canonical representative makes the full
+    summary a pure function of the cache key, so a cache hit is
+    bit-identical — value, side, rounds, breakdown — to what a fresh
+    solve of the same request would return, and memoization can never
+    change the CONGEST round accounting a client observes: the cached
+    [rounds] {e is} the charge of the simulation that produced the
+    entry, replayed verbatim.
+
+    The service itself is single-domain (confine a [t] to one domain);
+    only the pure per-batch solves inside {!flush} run on other domains,
+    each on its own graph copy. *)
+
+type config = {
+  params : Mincut_core.Params.t;  (** round-accounting regime for all solves *)
+  cache_entries : int;            (** LRU bound: resident entries *)
+  cache_cost : int;               (** LRU bound: total cost in words *)
+  workers : int;                  (** worker pool width; 1 = sequential *)
+}
+
+val default_config : config
+(** [Params.fast], 4096 entries, 16M words, pool default width. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+val key_of_request : t -> Request.t -> string
+(** The content-addressed cache key this service assigns (algorithm,
+    seed, trees, params and structural graph digest). *)
+
+val solve : t -> Request.t -> Request.response
+
+val submit : t -> Request.t -> Scheduler.ticket
+
+val pending : t -> int
+
+val flush : t -> (Scheduler.ticket * Request.response) list
+(** Drain and answer everything pending, in ticket order.  [cached] is
+    true for responses answered from an entry that existed before this
+    flush; members of a freshly solved batch (including coalesced
+    duplicates) report [cached = false] and the duplicates are counted
+    by the [requests_coalesced] counter. *)
+
+val metrics : t -> Metrics.t
+
+val snapshot : t -> Metrics.snapshot
+(** Metrics snapshot with cache/queue gauges refreshed first. *)
+
+val cache_length : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int

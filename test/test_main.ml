@@ -17,4 +17,5 @@ let () =
       ("two-respect", Test_two_respect.suite);
       ("small-cuts", Test_small_cuts.suite);
       ("extensions", Test_extensions.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,503 @@
+(* The serving layer: LRU cache bounds and eviction order, structural
+   hashing, cache-hit bit-identity with fresh solves, scheduler
+   coalescing, the worker pool, metrics accounting and the line
+   protocol. *)
+
+open Test_helpers
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Rng = Mincut_util.Rng
+module Bitset = Mincut_util.Bitset
+module Hash = Mincut_util.Hash
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+module Cache = Mincut_serve.Cache
+module Graph_key = Mincut_serve.Graph_key
+module Json = Mincut_serve.Json
+module Metrics = Mincut_serve.Metrics
+module Pool = Mincut_serve.Pool
+module Request = Mincut_serve.Request
+module Scheduler = Mincut_serve.Scheduler
+module Service = Mincut_serve.Service
+module Server = Mincut_serve.Server
+module Protocol = Mincut_serve.Protocol
+
+let check_string = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- cache ----------------------------------------------------------- *)
+
+let unit_cost_cache ?(max_entries = 4096) ?max_cost () =
+  Cache.create ~max_entries ?max_cost ~cost:(fun (_ : string) -> 1) ()
+
+let test_lru_eviction_order () =
+  let c = unit_cost_cache ~max_entries:3 () in
+  Cache.add c "a" "va";
+  Cache.add c "b" "vb";
+  Cache.add c "c" "vc";
+  (* touch "a": it becomes most recent, "b" is now least recent *)
+  check_bool "hit a" true (Cache.find c "a" = Some "va");
+  Alcotest.(check (list string))
+    "recency after touch" [ "a"; "c"; "b" ] (Cache.keys_mru_first c);
+  Cache.add c "d" "vd";
+  check_bool "b evicted (LRU)" false (Cache.mem c "b");
+  check_bool "a kept" true (Cache.mem c "a");
+  check_bool "c kept" true (Cache.mem c "c");
+  Alcotest.(check (list string))
+    "recency after eviction" [ "d"; "a"; "c" ] (Cache.keys_mru_first c);
+  check_int "one eviction" 1 (Cache.evictions c)
+
+let test_lru_entry_bound () =
+  let c = unit_cost_cache ~max_entries:10 () in
+  for i = 1 to 100 do
+    Cache.add c (string_of_int i) "v"
+  done;
+  check_int "length bounded" 10 (Cache.length c);
+  check_int "evictions counted" 90 (Cache.evictions c);
+  (* survivors are exactly the 10 most recent inserts *)
+  for i = 91 to 100 do
+    check_bool (Printf.sprintf "%d resident" i) true (Cache.mem c (string_of_int i))
+  done
+
+let test_lru_cost_bound () =
+  let c = Cache.create ~max_cost:10 ~cost:String.length () in
+  Cache.add c "a" "xxxx";
+  Cache.add c "b" "xxxx";
+  check_int "cost 8 resident" 8 (Cache.total_cost c);
+  Cache.add c "c" "xxxx";
+  (* 12 > 10: evict from the LRU end down to the bound *)
+  check_bool "within cost bound" true (Cache.total_cost c <= 10);
+  check_bool "a evicted first" false (Cache.mem c "a");
+  (* a lone over-cost value is still admitted *)
+  let big = String.make 50 'x' in
+  Cache.add c "big" big;
+  Cache.add c "big2" big;
+  check_int "over-cost values never coexist" 1 (Cache.length c);
+  check_bool "newest survives" true (Cache.mem c "big2")
+
+let test_cache_replace_and_counters () =
+  let c = unit_cost_cache () in
+  check_bool "miss" true (Cache.find c "k" = None);
+  Cache.add c "k" "v1";
+  Cache.add c "k" "v2";
+  check_int "replace keeps one entry" 1 (Cache.length c);
+  check_bool "hit sees newest" true (Cache.find c "k" = Some "v2");
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 1 (Cache.misses c)
+
+(* ---- structural hashing ---------------------------------------------- *)
+
+let shuffled_copy ~seed g =
+  let triples =
+    Array.map (fun e -> (e.Graph.u, e.Graph.v, e.Graph.w)) (Graph.edges g)
+  in
+  Rng.shuffle (Rng.create seed) triples;
+  Graph.of_array ~n:(Graph.n g) triples
+
+let test_hash_sensitivity () =
+  let g = Generators.ring 6 in
+  let h = Graph_key.structural_hash g in
+  let heavier = Graph.reweight g ~f:(fun e -> e.Graph.w + 1) in
+  check_bool "weights change the hash" false
+    (h = Graph_key.structural_hash heavier);
+  let bigger = Generators.ring 7 in
+  check_bool "node count changes the hash" false
+    (h = Graph_key.structural_hash bigger);
+  (* parallel edges are a multiset, not a set *)
+  let doubled = Graph.create ~n:3 [ (0, 1, 1); (0, 1, 1); (1, 2, 1); (0, 2, 1) ] in
+  let single = Graph.create ~n:3 [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ] in
+  check_bool "multiplicity matters" false
+    (Graph_key.structural_hash doubled = Graph_key.structural_hash single)
+
+let test_canonicalize_idempotent () =
+  let g = shuffled_copy ~seed:5 (Generators.grid 3 4) in
+  let c1 = Graph_key.canonicalize g in
+  let c2 = Graph_key.canonicalize c1 in
+  check_bool "same structure" true (Graph.equal_structure g c1);
+  check_bool "canonical edge order is a fixpoint" true
+    (Array.for_all2
+       (fun a b -> (a.Graph.u, a.Graph.v, a.Graph.w) = (b.Graph.u, b.Graph.v, b.Graph.w))
+       (Graph.edges c1) (Graph.edges c2))
+
+(* ---- metrics --------------------------------------------------------- *)
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "reqs" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "counter accumulates" 5 (Metrics.counter_value c);
+  check_int "same name, same instrument" 5
+    (Metrics.counter_value (Metrics.counter m "reqs"));
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 3.5;
+  check_float "gauge holds last value" 3.5 (Metrics.gauge_value g)
+
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let snap = Metrics.snapshot m in
+  match List.assoc_opt "lat" snap.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+      check_int "count" 100 s.Metrics.count;
+      check_float "mean" 50.5 s.Metrics.mean;
+      check_float "max" 100.0 s.Metrics.max;
+      check_bool "p50 in the middle" true (s.Metrics.p50 >= 49.0 && s.Metrics.p50 <= 52.0);
+      check_bool "p90 near the top" true (s.Metrics.p90 >= 89.0 && s.Metrics.p90 <= 92.0);
+      check_bool "quantiles ordered" true
+        (s.Metrics.p50 <= s.Metrics.p90 && s.Metrics.p90 <= s.Metrics.p99
+       && s.Metrics.p99 <= s.Metrics.max)
+
+let test_metrics_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter m "a");
+  Metrics.set (Metrics.gauge m "g") 2.25;
+  Metrics.observe (Metrics.histogram m "h") 1.5;
+  Metrics.observe (Metrics.histogram m "h") 2.5;
+  let snap = Metrics.snapshot m in
+  match Metrics.snapshot_of_json_line (Json.to_string (Metrics.to_json snap)) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      check_bool "counters round-trip" true (back.Metrics.counters = snap.Metrics.counters);
+      check_bool "gauges round-trip" true (back.Metrics.gauges = snap.Metrics.gauges);
+      check_bool "histograms round-trip" true
+        (back.Metrics.histograms = snap.Metrics.histograms)
+
+let test_json_parser () =
+  let roundtrip v = Json.of_string (Json.to_string v) = Ok v in
+  check_bool "nested value round-trips" true
+    (roundtrip
+       (Json.Obj
+          [
+            ("s", Json.String "a \"quoted\"\nline");
+            ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Bool false; Json.Null ]);
+            ("o", Json.Obj []);
+          ]));
+  check_bool "trailing garbage rejected" true
+    (match Json.of_string "{} x" with Error _ -> true | Ok _ -> false);
+  check_bool "unterminated string rejected" true
+    (match Json.of_string "\"abc" with Error _ -> true | Ok _ -> false)
+
+(* ---- scheduler ------------------------------------------------------- *)
+
+let test_scheduler_priority_and_coalescing () =
+  let ring = Generators.ring 8 in
+  let grid = Generators.grid 3 3 in
+  let key r = Graph_key.key ~algorithm:r.Request.algorithm ~seed:r.Request.seed
+      ~trees:r.Request.trees ~params:Params.fast r.Request.graph
+  in
+  let s = Scheduler.create ~key () in
+  let t0 = Scheduler.submit s (Request.make ring) in
+  let t1 = Scheduler.submit s (Request.make grid ~priority:3) in
+  let t2 = Scheduler.submit s (Request.make (shuffled_copy ~seed:1 ring)) in
+  check_int "pending" 3 (Scheduler.pending s);
+  check_int "two distinct batches" 2 (Scheduler.depth s);
+  match Scheduler.drain s with
+  | [ (tks_grid, r_grid); (tks_ring, _) ] ->
+      check_bool "high priority first" true (r_grid.Request.priority = 3);
+      Alcotest.(check (list int)) "grid batch" [ t1 ] tks_grid;
+      Alcotest.(check (list int))
+        "permuted ring coalesced with ring" [ t0; t2 ] tks_ring;
+      check_int "drained" 0 (Scheduler.pending s)
+  | batches -> Alcotest.fail (Printf.sprintf "expected 2 batches, got %d" (List.length batches))
+
+let test_scheduler_deadline_order () =
+  let g = Generators.ring 6 in
+  let key _ = "k" in
+  (* same key: the batch representative must be the urgent one *)
+  let s = Scheduler.create ~key:(fun r -> key r) () in
+  let _ = Scheduler.submit s (Request.make g ~deadline:9999.0) in
+  let _ = Scheduler.submit s (Request.make g ~deadline:1.0) in
+  (match Scheduler.drain s with
+  | [ (tickets, rep) ] ->
+      check_int "coalesced into one batch" 2 (List.length tickets);
+      check_bool "earliest deadline represents" true (rep.Request.deadline = Some 1.0)
+  | _ -> Alcotest.fail "expected a single batch");
+  (* distinct keys: earlier deadline drains first within a priority class *)
+  let s2 = Scheduler.create ~key:(fun r -> string_of_int r.Request.seed) () in
+  let _ = Scheduler.submit s2 (Request.make g ~seed:1 ~deadline:50.0) in
+  let _ = Scheduler.submit s2 (Request.make g ~seed:2 ~deadline:5.0) in
+  match Scheduler.drain s2 with
+  | [ (_, first); (_, second) ] ->
+      check_bool "deadline ascending" true
+        (first.Request.deadline = Some 5.0 && second.Request.deadline = Some 50.0)
+  | _ -> Alcotest.fail "expected two batches"
+
+(* ---- worker pool ----------------------------------------------------- *)
+
+let test_pool_matches_sequential () =
+  let jobs = Array.init 64 (fun i -> i) in
+  let f i = Array.fold_left ( + ) 0 (Array.init (100 + i) (fun j -> i * j)) in
+  let seq = Array.map f jobs in
+  let par = Pool.map (Pool.create ~workers:4 ()) f jobs in
+  check_bool "parallel map preserves order and values" true (seq = par)
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~workers:3 () in
+  check_bool "raises" true
+    (match Pool.map pool (fun i -> if i = 5 then failwith "boom" else i) (Array.init 8 Fun.id) with
+    | _ -> false
+    | exception Failure msg -> msg = "boom")
+
+(* ---- service --------------------------------------------------------- *)
+
+let service ?(workers = 1) () =
+  Service.create
+    ~config:{ Service.default_config with Service.workers }
+    ()
+
+let check_summaries_identical msg (a : Api.summary) (b : Api.summary) =
+  check_int (msg ^ ": value") a.Api.value b.Api.value;
+  check_int (msg ^ ": rounds") a.Api.rounds b.Api.rounds;
+  check_bool (msg ^ ": side") true (Bitset.equal a.Api.side b.Api.side);
+  check_bool (msg ^ ": breakdown") true (a.Api.breakdown = b.Api.breakdown);
+  check_bool (msg ^ ": algorithm") true (a.Api.algorithm = b.Api.algorithm)
+
+let test_service_cache_hit_identical () =
+  let t = service () in
+  let g = Generators.torus 4 4 in
+  let r1 = Service.solve t (Request.make g) in
+  let r2 = Service.solve t (Request.make g) in
+  check_bool "first is a miss" false r1.Request.cached;
+  check_bool "second is a hit" true r2.Request.cached;
+  check_string "same key" r1.Request.key r2.Request.key;
+  check_summaries_identical "hit vs miss" r1.Request.summary r2.Request.summary;
+  (* and both match a fresh Api solve of the canonical graph *)
+  let fresh =
+    Api.min_cut ~params:(Service.config t).Service.params
+      (Graph_key.canonicalize g)
+  in
+  check_summaries_identical "cache vs fresh" fresh r1.Request.summary
+
+let test_service_flush_batches () =
+  let t = service ~workers:2 () in
+  let ring = Generators.ring 10 in
+  let t0 = Service.submit t (Request.make ring) in
+  let t1 = Service.submit t (Request.make (shuffled_copy ~seed:3 ring)) in
+  let t2 = Service.submit t (Request.make (Generators.grid 3 3)) in
+  check_int "pending" 3 (Service.pending t);
+  let responses = Service.flush t in
+  check_int "all answered" 3 (List.length responses);
+  check_int "drained" 0 (Service.pending t);
+  Alcotest.(check (list int))
+    "ticket order" [ t0; t1; t2 ]
+    (List.map fst responses);
+  let r0 = List.assoc t0 responses and r1 = List.assoc t1 responses in
+  check_summaries_identical "coalesced duplicates identical"
+    r0.Request.summary r1.Request.summary;
+  (* a second flush of the same work is all cache hits *)
+  let _ = Service.submit t (Request.make ring) in
+  (match Service.flush t with
+  | [ (_, r) ] -> check_bool "warm flush hits" true r.Request.cached
+  | _ -> Alcotest.fail "expected one response");
+  let m = Service.metrics t in
+  check_int "coalesced counted" 1
+    (Metrics.counter_value (Metrics.counter m "requests_coalesced"))
+
+let test_service_metrics_accounting () =
+  let t = service () in
+  let g = Generators.complete 6 in
+  let _ = Service.solve t (Request.make g) in
+  let _ = Service.solve t (Request.make g) in
+  let _ = Service.solve t (Request.make g ~seed:7) in
+  let snap = Service.snapshot t in
+  let counter name = List.assoc name snap.Metrics.counters in
+  check_int "submitted" 3 (counter "requests_submitted");
+  check_int "completed" 3 (counter "requests_completed");
+  check_int "hits" 1 (counter "cache_hits");
+  check_int "misses" 2 (counter "cache_misses");
+  check_bool "rounds charged only for real solves" true (counter "rounds_charged" > 0);
+  check_bool "cache gauge" true (List.assoc "cache_entries" snap.Metrics.gauges = 2.0);
+  let hist name = List.assoc name snap.Metrics.histograms in
+  check_int "cold latencies observed" 2 (hist "solve_cold_ms").Metrics.count;
+  check_int "warm latencies observed" 1 (hist "solve_warm_ms").Metrics.count
+
+(* ---- line protocol / server ------------------------------------------ *)
+
+let scripted_io lines =
+  let input = ref lines in
+  let output = ref [] in
+  ( {
+      Server.read_line =
+        (fun () ->
+          match !input with
+          | [] -> None
+          | l :: rest ->
+              input := rest;
+              Some l);
+      write_line = (fun s -> output := s :: !output);
+    },
+    fun () -> List.rev !output )
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let n = String.length sub and len = String.length s in
+  let rec at i = i + n <= len && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let test_server_session () =
+  let io, collected =
+    scripted_io
+      [
+        "PING";
+        "# a comment line";
+        "GRAPH tri 3 3";
+        "0 1 1";
+        "1 2 1";
+        "0 2 1";
+        "SOLVE graph=tri";
+        "SOLVE graph=tri";
+        "SOLVE graph=nope";
+        "BOGUS";
+        "STATS";
+        "QUIT";
+      ]
+  in
+  let reason = Server.run (service ()) io in
+  check_bool "quit reason" true (reason = Server.Quit);
+  match collected () with
+  | [ pong; graph_ok; ok1; ok2; err_graph; err_verb; stats; bye ] ->
+      check_string "pong" "PONG" pong;
+      check_bool "graph registered" true (has_prefix ~prefix:"OK graph tri n=3 m=3" graph_ok);
+      check_bool "solve ok and cold" true
+        (has_prefix ~prefix:"OK value=2" ok1 && contains ~sub:"cached=false" ok1);
+      check_bool "warm repeat hits" true
+        (has_prefix ~prefix:"OK value=2" ok2 && contains ~sub:"cached=true" ok2);
+      check_bool "unknown graph is ERR" true (has_prefix ~prefix:"ERR" err_graph);
+      check_bool "unknown verb is ERR" true (has_prefix ~prefix:"ERR" err_verb);
+      check_bool "stats line is JSON" true (has_prefix ~prefix:"STATS {" stats);
+      check_string "bye" "BYE" bye
+  | lines ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected response count %d: %s" (List.length lines)
+           (String.concat " | " lines))
+
+let test_server_submit_flush () =
+  let io, collected =
+    scripted_io
+      [
+        "SUBMIT family=ring size=12";
+        "SUBMIT family=ring size=12 priority=2";
+        "SUBMIT family=complete size=5 priority=9";
+        "FLUSH";
+      ]
+  in
+  let reason = Server.run (service ~workers:2 ()) io in
+  check_bool "eof ends session" true (reason = Server.Eof);
+  let lines = collected () in
+  (match lines with
+  | [ q0; q1; q2; r0; r1; r2; done_line ] ->
+      check_string "ticket 0" "QUEUED 0" q0;
+      check_string "ticket 1" "QUEUED 1" q1;
+      check_string "ticket 2" "QUEUED 2" q2;
+      (* RESULT lines come back in ticket order regardless of batch order *)
+      check_bool "result 0" true (has_prefix ~prefix:"RESULT 0 value=2" r0);
+      check_bool "result 1" true (has_prefix ~prefix:"RESULT 1 value=2" r1);
+      check_bool "result 2" true (has_prefix ~prefix:"RESULT 2 value=4" r2);
+      check_string "done" "DONE 3" done_line
+  | _ ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected response shape: %s" (String.concat " | " lines)))
+
+let test_server_graph_payload_drained () =
+  (* a malformed edge must not desync the stream: the remaining
+     announced edge lines are consumed, not parsed as commands *)
+  let io, collected =
+    scripted_io [ "GRAPH x 4 3"; "0 1 1"; "not an edge"; "2 3 1"; "PING"; "QUIT" ]
+  in
+  let _ = Server.run (service ()) io in
+  match collected () with
+  | [ err; pong; bye ] ->
+      check_bool "edge error reported" true (has_prefix ~prefix:"ERR" err);
+      check_string "stream stays in sync" "PONG" pong;
+      check_string "bye" "BYE" bye
+  | lines ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected responses: %s" (String.concat " | " lines))
+
+let test_protocol_parse_errors () =
+  let is_err s = match Protocol.parse s with Error _ -> true | Ok _ -> false in
+  check_bool "missing source" true (is_err "SOLVE algo=exact");
+  check_bool "both sources" true (is_err "SOLVE graph=a family=ring");
+  check_bool "bad int" true (is_err "SOLVE family=ring size=abc");
+  check_bool "bad algo" true (is_err "SOLVE family=ring algo=magic");
+  check_bool "graph usage" true (is_err "GRAPH only-a-name");
+  check_bool "blank is nop" true (Protocol.parse "   " = Ok Protocol.Nop);
+  check_bool "comment is nop" true (Protocol.parse "# hi" = Ok Protocol.Nop)
+
+(* ---- qcheck properties ----------------------------------------------- *)
+
+let qcheck_tests =
+  [
+    qtest ~count:60 "structural hash invariant under edge permutation"
+      QCheck2.Gen.(pair (arbitrary_connected ~max_n:12 ()) (int_range 0 1_000_000))
+      (fun (g, seed) ->
+        Graph_key.structural_hash g
+        = Graph_key.structural_hash (shuffled_copy ~seed g));
+    qtest ~count:25 "cached solve is bit-identical to a fresh solve"
+      QCheck2.Gen.(pair (arbitrary_connected ~max_n:10 ()) (int_range 0 3))
+      (fun (g, algo_pick) ->
+        let algorithm =
+          match algo_pick with
+          | 0 -> Api.Exact_small_lambda
+          | 1 -> Api.Exact_two_respect
+          | 2 -> Api.Approx 0.5
+          | _ -> Api.Ghaffari_kuhn 0.5
+        in
+        let t = service () in
+        let r1 = Service.solve t (Request.make ~algorithm ~seed:11 g) in
+        (* same structure, permuted presentation: must hit and answer
+           identically *)
+        let r2 =
+          Service.solve t (Request.make ~algorithm ~seed:11 (shuffled_copy ~seed:99 g))
+        in
+        let fresh =
+          Api.min_cut ~params:(Service.config t).Service.params ~algorithm
+            ~seed:11
+            (Graph_key.canonicalize g)
+        in
+        (not r1.Request.cached) && r2.Request.cached
+        && r1.Request.summary.Api.value = fresh.Api.value
+        && r1.Request.summary.Api.rounds = fresh.Api.rounds
+        && Bitset.equal r1.Request.summary.Api.side fresh.Api.side
+        && r1.Request.summary.Api.breakdown = fresh.Api.breakdown
+        && r2.Request.summary.Api.value = fresh.Api.value
+        && r2.Request.summary.Api.rounds = fresh.Api.rounds
+        && Bitset.equal r2.Request.summary.Api.side fresh.Api.side);
+    qtest ~count:40 "canonicalize preserves structure"
+      (arbitrary_connected ~max_n:12 ())
+      (fun g -> Graph.equal_structure g (Graph_key.canonicalize g));
+  ]
+
+let suite =
+  [
+    tc "cache: LRU eviction order" test_lru_eviction_order;
+    tc "cache: entry bound" test_lru_entry_bound;
+    tc "cache: cost bound" test_lru_cost_bound;
+    tc "cache: replace and hit/miss counters" test_cache_replace_and_counters;
+    tc "hash: sensitive to weights, size, multiplicity" test_hash_sensitivity;
+    tc "hash: canonicalize idempotent" test_canonicalize_idempotent;
+    tc "metrics: counters and gauges" test_metrics_counters_gauges;
+    tc "metrics: latency quantiles" test_metrics_quantiles;
+    tc "metrics: JSON line round-trip" test_metrics_json_roundtrip;
+    tc "json: parser round-trip and rejections" test_json_parser;
+    tc "scheduler: priority order and coalescing" test_scheduler_priority_and_coalescing;
+    tc "scheduler: deadline ordering" test_scheduler_deadline_order;
+    tc "pool: parallel map matches sequential" test_pool_matches_sequential;
+    tc "pool: exceptions propagate" test_pool_exception_propagates;
+    tc "service: cache hit bit-identical" test_service_cache_hit_identical;
+    tc "service: flush coalesces and answers in order" test_service_flush_batches;
+    tc "service: metrics accounting" test_service_metrics_accounting;
+    tc "server: scripted session" test_server_session;
+    tc "server: submit/flush protocol" test_server_submit_flush;
+    tc "server: malformed GRAPH payload drained" test_server_graph_payload_drained;
+    tc "protocol: parse errors" test_protocol_parse_errors;
+  ]
+  @ qcheck_tests
