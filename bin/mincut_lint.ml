@@ -1,0 +1,220 @@
+(* mincut_lint — static analysis and conformance audit driver.
+
+     mincut_lint                    # lint lib/ bin/ + replay conformance
+     mincut_lint --json             # machine-readable report
+     mincut_lint --no-replay src/   # lint only, custom roots
+
+   Pass 1 (source lint) scans OCaml sources for determinism/model
+   hazards (see [Mincut_analysis.Lint]); accepted findings live in the
+   [.mincut-lint-allow] file.  Pass 2 (deterministic replay) runs the
+   BFS message program, the exact pipeline and the 1-respecting
+   pipeline twice each on small workloads and diffs the full execution
+   audits — any hidden nondeterminism fails the run.  Exit status: 0
+   clean, 1 findings or replay divergence, 2 usage error. *)
+
+open Cmdliner
+module Lint = Mincut_analysis.Lint
+module Replay = Mincut_analysis.Replay
+module Json = Mincut_util.Json
+module Rng = Mincut_util.Rng
+module Bitset = Mincut_util.Bitset
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Tree = Mincut_graph.Tree
+module Mst_seq = Mincut_graph.Mst_seq
+module Primitives = Mincut_congest.Primitives
+module Api = Mincut_core.Api
+module One_respect = Mincut_core.One_respect
+module Params = Mincut_core.Params
+
+let default_allow_file = ".mincut-lint-allow"
+
+(* ---- replay pass ------------------------------------------------------ *)
+
+let diff_int name a b =
+  if a = b then [] else [ Printf.sprintf "%s: %d vs %d" name a b ]
+
+let diff_breakdown a b =
+  Replay.diff_named ~name:"breakdown"
+    ~equal:(List.equal (fun (la, ra) (lb, rb) -> String.equal la lb && ra = rb))
+    a b
+
+let diff_summary (a : Api.summary) (b : Api.summary) =
+  List.concat
+    [
+      diff_int "value" a.Api.value b.Api.value;
+      diff_int "rounds" a.Api.rounds b.Api.rounds;
+      Replay.diff_named ~name:"side" ~equal:Bitset.equal a.Api.side b.Api.side;
+      diff_breakdown a.Api.breakdown b.Api.breakdown;
+    ]
+
+let diff_one_respect (a : One_respect.result) (b : One_respect.result) =
+  List.concat
+    [
+      diff_int "best_value" a.One_respect.best_value b.One_respect.best_value;
+      diff_int "best_node" a.One_respect.best_node b.One_respect.best_node;
+      Replay.diff_named ~name:"cuts" ~equal:(Array.for_all2 Int.equal)
+        a.One_respect.cuts b.One_respect.cuts;
+      diff_int "cost.rounds" a.One_respect.cost.Mincut_congest.Cost.rounds
+        b.One_respect.cost.Mincut_congest.Cost.rounds;
+      diff_breakdown a.One_respect.cost.Mincut_congest.Cost.breakdown
+        b.One_respect.cost.Mincut_congest.Cost.breakdown;
+    ]
+
+let workloads () =
+  [
+    ("torus4", Generators.torus 4 4);
+    ("grid5", Generators.grid 5 5);
+    ("gnp24", Generators.gnp_connected ~rng:(Rng.create 12) 24 0.3);
+  ]
+
+type replay_report = { check : string; ok : bool; diffs : string list }
+
+let replay_checks () =
+  List.concat_map
+    (fun (wname, g) ->
+      [
+        ( Printf.sprintf "bfs-audit/%s" wname,
+          fun () ->
+            Replay.check
+              ~run:(fun () ->
+                let _, _, audit = Primitives.bfs_tree_audited g ~root:0 in
+                audit)
+              ~diff:Replay.diff_audits
+            |> Result.map (fun _ -> ()) );
+        ( Printf.sprintf "exact/%s" wname,
+          fun () ->
+            Replay.check
+              ~run:(fun () ->
+                Api.min_cut ~params:Params.fast
+                  ~algorithm:Api.Exact_small_lambda ~seed:0 g)
+              ~diff:diff_summary
+            |> Result.map (fun _ -> ()) );
+        ( Printf.sprintf "one-respect/%s" wname,
+          fun () ->
+            let tree = Tree.of_edge_ids g ~root:0 (Mst_seq.kruskal g) in
+            Replay.check
+              ~run:(fun () -> Api.one_respecting_cut ~params:Params.fast g tree)
+              ~diff:diff_one_respect
+            |> Result.map (fun _ -> ()) );
+      ])
+    (workloads ())
+
+let run_replay () =
+  List.map
+    (fun (check, run) ->
+      match run () with
+      | Ok () -> { check; ok = true; diffs = [] }
+      | Error diffs -> { check; ok = false; diffs }
+      | exception e ->
+          { check; ok = false; diffs = [ "raised " ^ Printexc.to_string e ] })
+    (replay_checks ())
+
+(* ---- reporting -------------------------------------------------------- *)
+
+let report_json findings unused replays =
+  Json.Obj
+    [
+      ("lint", Lint.to_json findings);
+      ("allow_unused", Json.List (List.map (fun s -> Json.String s) unused));
+      ( "replay",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("check", Json.String r.check);
+                   ("ok", Json.Bool r.ok);
+                   ("diffs", Json.List (List.map (fun d -> Json.String d) r.diffs));
+                 ])
+             replays) );
+      ( "status",
+        Json.String
+          (if findings = [] && List.for_all (fun r -> r.ok) replays then "clean"
+           else "dirty") );
+    ]
+
+let report_human findings unused replays =
+  Format.printf "%a" Lint.pp_findings findings;
+  List.iter
+    (fun entry ->
+      Format.printf "note: unused allowlist entry %S — delete it@." entry)
+    unused;
+  List.iter
+    (fun r ->
+      if r.ok then Format.printf "replay ok: %s@." r.check
+      else begin
+        Format.printf "replay FAILED: %s@." r.check;
+        List.iter (fun d -> Format.printf "  %s@." d) r.diffs
+      end)
+    replays;
+  let nf = List.length findings in
+  let bad = List.length (List.filter (fun r -> not r.ok) replays) in
+  if nf = 0 && bad = 0 then
+    Format.printf "mincut_lint: clean (%d replay checks)@." (List.length replays)
+  else
+    Format.printf "mincut_lint: %d finding%s, %d replay failure%s@." nf
+      (if nf = 1 then "" else "s")
+      bad
+      (if bad = 1 then "" else "s")
+
+(* ---- command ---------------------------------------------------------- *)
+
+let run paths allow_file json no_replay =
+  let paths = if paths = [] then [ "lib"; "bin" ] else paths in
+  match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some missing ->
+      Printf.eprintf "mincut_lint: no such path %S\n" missing;
+      2
+  | None -> (
+      let allow =
+        match allow_file with
+        | Some f -> Lint.Allow.load f
+        | None ->
+            if Sys.file_exists default_allow_file then
+              Lint.Allow.load default_allow_file
+            else Ok Lint.Allow.empty
+      in
+      match allow with
+      | Error e ->
+          Printf.eprintf "mincut_lint: allowlist: %s\n" e;
+          2
+      | Ok allow ->
+          let raw = Lint.scan_paths paths in
+          let findings = Lint.Allow.filter allow raw in
+          let unused = Lint.Allow.unused allow raw in
+          let replays = if no_replay then [] else run_replay () in
+          if json then
+            print_endline (Json.to_string (report_json findings unused replays))
+          else report_human findings unused replays;
+          if findings = [] && List.for_all (fun r -> r.ok) replays then 0 else 1)
+
+let cmd =
+  let paths_arg =
+    let doc = "Files or directories to scan (default: lib bin)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let allow_arg =
+    let doc =
+      "Allowlist file of accepted findings, one 'rule path[:line]' per line \
+       (default: " ^ default_allow_file ^ " when present)."
+    in
+    Arg.(value & opt (some string) None & info [ "allow" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one machine-readable JSON report on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let no_replay_arg =
+    let doc = "Skip the deterministic-replay conformance pass." in
+    Arg.(value & flag & info [ "no-replay" ] ~doc)
+  in
+  let doc =
+    "static analysis for the mincut repo: determinism lint + CONGEST \
+     conformance replay"
+  in
+  Cmd.v
+    (Cmd.info "mincut_lint" ~version:"1.0.0" ~doc)
+    Term.(const run $ paths_arg $ allow_arg $ json_arg $ no_replay_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,397 @@
+module Json = Mincut_util.Json
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let rules =
+  [
+    ("poly-compare", "bare polymorphic compare; use Int.compare & co.");
+    ("poly-equal", "polymorphic ( = ) as a first-class function");
+    ("hashtbl-hash", "Hashtbl.hash varies across OCaml versions");
+    ("unseeded-random", "Random.* bypasses the seeded Mincut_util.Rng");
+    ("obj-magic", "Obj.* defeats the type system");
+    ("catchall-exn", "try ... with _ -> swallows every exception");
+  ]
+
+(* ---- lexer ------------------------------------------------------------ *)
+
+(* Just enough of OCaml's lexical structure to walk real sources safely:
+   nested comments (which themselves lex string literals), ordinary and
+   {id|...|id} quoted strings, char literals vs. type variables.  Tokens
+   are dotted longidents (keywords included) and operator runs. *)
+
+type token = { text : string; tline : int; tcol : int; is_ident : bool }
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c i = if c.pos + i < String.length c.src then Some c.src.[c.pos + i] else None
+
+let advance c =
+  (match peek c 0 with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.col <- 0
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.pos <- c.pos + 1
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident_char ch = is_ident_start ch || (ch >= '0' && ch <= '9') || ch = '\''
+
+let is_op_char ch = String.contains "!$%&*+-/:<=>?@^|~." ch
+
+let skip_escape c =
+  (* after the backslash *)
+  match peek c 0 with
+  | Some ('0' .. '9') ->
+      advance c;
+      advance c;
+      advance c
+  | Some ('x' | 'o') ->
+      advance c;
+      advance c;
+      advance c
+  | Some _ -> advance c
+  | None -> ()
+
+let rec skip_string c =
+  (* called past the opening quote *)
+  match peek c 0 with
+  | None -> ()
+  | Some '"' -> advance c
+  | Some '\\' ->
+      advance c;
+      skip_escape c;
+      skip_string c
+  | Some _ ->
+      advance c;
+      skip_string c
+
+let skip_quoted_string c =
+  (* called at '{'; returns true if a {id|...|id} literal was consumed *)
+  let start = c.pos in
+  let rec delim i =
+    match peek c i with
+    | Some ('a' .. 'z' | '_') -> delim (i + 1)
+    | Some '|' -> Some i
+    | _ -> None
+  in
+  match delim 1 with
+  | None -> false
+  | Some bar ->
+      let id = String.sub c.src (start + 1) (bar - 1) in
+      let closing = "|" ^ id ^ "}" in
+      let m = String.length closing in
+      for _ = 0 to bar do
+        advance c
+      done;
+      let rec hunt () =
+        if c.pos + m > String.length c.src then ()
+        else if String.sub c.src c.pos m = closing then
+          for _ = 1 to m do
+            advance c
+          done
+        else begin
+          advance c;
+          hunt ()
+        end
+      in
+      hunt ();
+      true
+
+let rec skip_comment c depth =
+  (* called past an opening "(*" *)
+  if depth = 0 then ()
+  else
+    match (peek c 0, peek c 1) with
+    | None, _ -> ()
+    | Some '(', Some '*' ->
+        advance c;
+        advance c;
+        skip_comment c (depth + 1)
+    | Some '*', Some ')' ->
+        advance c;
+        advance c;
+        skip_comment c (depth - 1)
+    | Some '"', _ ->
+        (* comments lex string literals: "*)" inside one doesn't close *)
+        advance c;
+        skip_string c;
+        skip_comment c depth
+    | Some _, _ ->
+        advance c;
+        skip_comment c depth
+
+let char_literal_ahead c =
+  (* at a single quote: distinguish 'x' / '\n' from the type variable 'a *)
+  match peek c 1 with
+  | Some '\\' -> true
+  | Some _ -> ( match peek c 2 with Some '\'' -> true | _ -> false)
+  | None -> false
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; col = 0 } in
+  let out = ref [] in
+  let emit text tline tcol is_ident = out := { text; tline; tcol; is_ident } :: !out in
+  let len = String.length src in
+  while c.pos < len do
+    match (peek c 0, peek c 1) with
+    | Some '(', Some '*' ->
+        advance c;
+        advance c;
+        skip_comment c 1
+    | Some '"', _ ->
+        advance c;
+        skip_string c
+    | Some '{', _ when skip_quoted_string c -> ()
+    | Some '\'', _ when char_literal_ahead c ->
+        advance c;
+        (match peek c 0 with
+        | Some '\\' ->
+            advance c;
+            skip_escape c
+        | _ -> advance c);
+        (match peek c 0 with Some '\'' -> advance c | _ -> ())
+    | Some ch, _ when is_ident_start ch ->
+        let tline = c.line and tcol = c.col in
+        let start = c.pos in
+        let continue = ref true in
+        while !continue do
+          (match peek c 0 with
+          | Some ch when is_ident_char ch -> advance c
+          | Some '.' -> (
+              (* extend a longident across dots: [Mod.sub.name] *)
+              match peek c 1 with
+              | Some ch2 when is_ident_start ch2 ->
+                  advance c;
+                  advance c
+              | _ -> continue := false)
+          | _ -> continue := false)
+        done;
+        emit (String.sub src start (c.pos - start)) tline tcol true
+    | Some ch, _ when is_op_char ch ->
+        let tline = c.line and tcol = c.col in
+        let start = c.pos in
+        while (match peek c 0 with Some ch -> is_op_char ch | None -> false) do
+          advance c
+        done;
+        emit (String.sub src start (c.pos - start)) tline tcol false
+    | Some (('(' | ')' | '[' | ']' | '{' | '}' | ',' | ';') as ch), _ ->
+        emit (String.make 1 ch) c.line c.col false;
+        advance c
+    | Some _, _ -> advance c
+    | None, _ -> ()
+  done;
+  Array.of_list (List.rev !out)
+
+(* ---- rules ------------------------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let strip_stdlib s =
+  if has_prefix ~prefix:"Stdlib." s then
+    String.sub s 7 (String.length s - 7)
+  else s
+
+let scan_source ~file src =
+  let toks = tokenize src in
+  let n = Array.length toks in
+  let findings = ref [] in
+  let report t rule message =
+    findings := { file; line = t.tline; col = t.tcol; rule; message } :: !findings
+  in
+  let text i = if i >= 0 && i < n then toks.(i).text else "" in
+  (* nearest enclosing [try]/[match]-ish construct, for catchall-exn *)
+  let construct_stack = ref [] in
+  for i = 0 to n - 1 do
+    let t = toks.(i) in
+    if t.is_ident then begin
+      let name = strip_stdlib t.text in
+      (match t.text with
+      | "try" | "match" -> construct_stack := t.text :: !construct_stack
+      | "with" -> (
+          match !construct_stack with
+          | top :: rest ->
+              construct_stack := rest;
+              if top = "try" && text (i + 1) = "_"
+                 && (text (i + 2) = "->" || text (i + 2) = "when") then
+                report t "catchall-exn"
+                  "catch-all exception handler; match the exceptions this \
+                   expression actually raises"
+          | [] -> ())
+      | _ -> ());
+      if name = "compare"
+         && text (i - 1) <> "let" && text (i - 1) <> "and"
+         && text (i - 1) <> "~" && text (i + 1) <> ":"
+      then
+        report t "poly-compare"
+          "polymorphic compare is representation-dependent; use Int.compare, \
+           Float.compare, String.compare or a typed comparator";
+      if name = "Hashtbl.hash" || name = "Hashtbl.seeded_hash" then
+        report t "hashtbl-hash"
+          "Hashtbl.hash output varies across OCaml versions; use the FNV-1a \
+           Mincut_util.Hash for anything persisted or compared across runs";
+      if name = "Random" || has_prefix ~prefix:"Random." name then
+        report t "unseeded-random"
+          "ambient Random state breaks deterministic replay; draw from a \
+           seeded Mincut_util.Rng passed in explicitly";
+      (* dotted uses only: a bare [Obj] is a legitimate constructor name
+         (e.g. [Json.Obj]) *)
+      if has_prefix ~prefix:"Obj." name then
+        report t "obj-magic" "Obj.* defeats the type system; find a typed way"
+    end
+    else if t.text = "=" && text (i - 1) = "(" && text (i + 1) = ")" then
+      report t "poly-equal"
+        "polymorphic equality as a function value; use a typed equal"
+  done;
+  List.rev !findings
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  scan_source ~file:path src
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then acc
+        else walk acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if is_source path then path :: acc
+  else acc
+
+let scan_paths paths =
+  let files = List.fold_left walk [] paths in
+  files
+  |> List.sort String.compare
+  |> List.concat_map scan_file
+  |> List.sort compare_findings
+
+(* ---- allowlist -------------------------------------------------------- *)
+
+module Allow = struct
+  type entry = { rule : string; path : string; line_no : int option; raw : string }
+
+  type t = entry list
+
+  let empty = []
+
+  let parse_entry lineno raw =
+    let body =
+      match String.index_opt raw '#' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    match
+      String.split_on_char ' ' (String.trim body)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok None
+    | [ rule; target ] ->
+        let known = List.exists (fun (r, _) -> r = rule) rules in
+        if not known then
+          Error (Printf.sprintf "line %d: unknown rule %S" lineno rule)
+        else
+          let path, line_no =
+            match String.rindex_opt target ':' with
+            | Some i -> (
+                let p = String.sub target 0 i in
+                let l = String.sub target (i + 1) (String.length target - i - 1) in
+                match int_of_string_opt l with
+                | Some l -> (p, Some l)
+                | None -> (target, None))
+            | None -> (target, None)
+          in
+          Ok (Some { rule; path; line_no; raw = String.trim body })
+    | _ -> Error (Printf.sprintf "line %d: expected 'rule path[:line]'" lineno)
+
+  let of_lines lines =
+    let rec go acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest -> (
+          match parse_entry lineno l with
+          | Error _ as e -> e
+          | Ok None -> go acc (lineno + 1) rest
+          | Ok (Some e) -> go (e :: acc) (lineno + 1) rest)
+    in
+    go [] 1 lines
+
+  let load path =
+    match In_channel.with_open_text path In_channel.input_lines with
+    | exception Sys_error e -> Error e
+    | lines -> of_lines lines
+
+  let path_matches ~entry_path ~file =
+    file = entry_path
+    || (let suffix = "/" ^ entry_path in
+        String.length file > String.length suffix
+        && String.sub file (String.length file - String.length suffix)
+             (String.length suffix)
+           = suffix)
+
+  let matches (e : entry) (f : finding) =
+    e.rule = f.rule
+    && path_matches ~entry_path:e.path ~file:f.file
+    && match e.line_no with None -> true | Some l -> l = f.line
+
+  let filter t findings =
+    List.filter (fun f -> not (List.exists (fun e -> matches e f) t)) findings
+
+  let unused t findings =
+    t
+    |> List.filter (fun e -> not (List.exists (fun f -> matches e f) findings))
+    |> List.map (fun e -> e.raw)
+end
+
+(* ---- output ----------------------------------------------------------- *)
+
+let to_json findings =
+  Json.Obj
+    [
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("file", Json.String f.file);
+                   ("line", Json.Int f.line);
+                   ("col", Json.Int f.col);
+                   ("rule", Json.String f.rule);
+                   ("message", Json.String f.message);
+                 ])
+             findings) );
+      ("count", Json.Int (List.length findings));
+    ]
+
+let pp_findings fmt findings =
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%s:%d:%d: %s: %s@." f.file f.line f.col f.rule f.message)
+    findings

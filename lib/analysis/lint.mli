@@ -1,0 +1,76 @@
+(** Source lint: determinism and CONGEST-model hazards.
+
+    A token-level scanner over OCaml sources (comments and string
+    literals stripped, so prose never trips a rule) that flags
+    constructs which would silently break the repo's reproducibility
+    guarantees:
+
+    - {b poly-compare}: bare polymorphic [compare] / [Stdlib.compare].
+      On [Graph.t], message types, or anything containing functions or
+      abstract ids, structural comparison is at best
+      representation-dependent and at worst raises — use the typed
+      [Int.compare] / [Float.compare] / [List.compare] family.
+    - {b poly-equal}: [Stdlib.( = )] passed as a first-class function
+      (e.g. [List.mem ( = )] style) — same hazard as poly-compare.
+    - {b hashtbl-hash}: [Hashtbl.hash] — its output varies across OCaml
+      versions and flambda settings, which would break the FNV-1a
+      cache-key guarantees of [Mincut_util.Hash].
+    - {b unseeded-random}: any [Random.*] use.  All randomness must flow
+      through the splittable, seeded [Mincut_util.Rng].
+    - {b obj-magic}: [Obj.magic] and friends.
+    - {b catchall-exn}: [try ... with _ ->] — swallows [Out_of_memory],
+      [Stack_overflow] and every programming error alike; match the
+      exceptions actually thrown.
+
+    Findings can be suppressed via an allowlist file (see
+    {!Allow.load}): one [rule path[:line]] entry per line, [#] comments.
+    Output is available as both a human report and machine-readable
+    JSON ([Mincut_util.Json]). *)
+
+type finding = {
+  file : string;
+  line : int;   (** 1-based *)
+  col : int;    (** 0-based byte column of the offending token *)
+  rule : string;
+  message : string;
+}
+
+val rules : (string * string) list
+(** [(rule-id, one-line description)] for every rule the scanner knows. *)
+
+val scan_source : file:string -> string -> finding list
+(** Scan a source buffer ([file] is only used to label findings). *)
+
+val scan_file : string -> finding list
+(** Read and scan one [.ml]/[.mli] file. *)
+
+val scan_paths : string list -> finding list
+(** Scan files and directories (recursively; [.ml] and [.mli] only,
+    skipping [_build] and dot-directories), findings sorted by
+    file/line/col. *)
+
+(** Allowlist: suppressing accepted findings. *)
+module Allow : sig
+  type t
+
+  val empty : t
+
+  val load : string -> (t, string) result
+  (** Parse an allowlist file.  Each non-comment line is
+      [rule path] or [rule path:line]; [path] matches a finding whose
+      file path equals it or ends with ["/" ^ path]. *)
+
+  val of_lines : string list -> (t, string) result
+
+  val filter : t -> finding list -> finding list
+  (** Drop allowlisted findings. *)
+
+  val unused : t -> finding list -> string list
+  (** Entries that matched nothing — stale suppressions worth deleting. *)
+end
+
+val to_json : finding list -> Mincut_util.Json.t
+(** [{ "findings": [ {file, line, col, rule, message} ], "count": n }] *)
+
+val pp_findings : Format.formatter -> finding list -> unit
+(** Human-readable [file:line:col: rule: message] lines. *)

@@ -1,0 +1,93 @@
+type t = { lname : string; lorder : int; mutex : Mutex.t }
+
+type violation_kind = Reentrancy | Order_inversion
+
+type violation = {
+  kind : violation_kind;
+  domain : int;
+  acquiring : string;
+  acquiring_order : int;
+  held : (string * int) list;
+}
+
+exception Lock_violation of violation
+
+let create ~name ~order () = { lname = name; lorder = order; mutex = Mutex.create () }
+
+let name t = t.lname
+
+let order t = t.lorder
+
+(* held-lock stack of the current domain, innermost first *)
+let held_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+(* the violation registry is deliberately a plain mutex: it is not part
+   of the checked order (it nests under arbitrary checked locks and is
+   always a leaf) *)
+let registry_mutex = Mutex.create ()
+
+let registry : violation list ref = ref []
+
+let raise_on_inversion = ref false
+
+let set_raise_on_inversion b = raise_on_inversion := b
+
+let violation_message v =
+  Printf.sprintf "domain %d: %s acquiring %s(rank %d) while holding [%s]" v.domain
+    (match v.kind with
+    | Reentrancy -> "re-entrant"
+    | Order_inversion -> "rank inversion")
+    v.acquiring v.acquiring_order
+    (String.concat "; "
+       (List.map (fun (n, o) -> Printf.sprintf "%s(rank %d)" n o) v.held))
+
+let () =
+  Printexc.register_printer (function
+    | Lock_violation v -> Some ("Lock_violation: " ^ violation_message v)
+    | _ -> None)
+
+let record v =
+  Mutex.lock registry_mutex;
+  registry := v :: !registry;
+  Mutex.unlock registry_mutex
+
+let violations () =
+  Mutex.lock registry_mutex;
+  let vs = List.rev !registry in
+  Mutex.unlock registry_mutex;
+  vs
+
+let reset () =
+  Mutex.lock registry_mutex;
+  registry := [];
+  Mutex.unlock registry_mutex
+
+let with_lock t f =
+  let held = Domain.DLS.get held_key in
+  let snapshot () = List.map (fun l -> (l.lname, l.lorder)) !held in
+  let make kind =
+    {
+      kind;
+      domain = (Domain.self () :> int);
+      acquiring = t.lname;
+      acquiring_order = t.lorder;
+      held = snapshot ();
+    }
+  in
+  if List.memq t !held then begin
+    let v = make Reentrancy in
+    record v;
+    raise (Lock_violation v)
+  end;
+  if List.exists (fun l -> l.lorder >= t.lorder) !held then begin
+    let v = make Order_inversion in
+    record v;
+    if !raise_on_inversion then raise (Lock_violation v)
+  end;
+  Mutex.lock t.mutex;
+  held := t :: !held;
+  Fun.protect
+    ~finally:(fun () ->
+      held := List.filter (fun l -> not (l == t)) !held;
+      Mutex.unlock t.mutex)
+    f

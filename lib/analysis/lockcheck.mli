@@ -1,0 +1,60 @@
+(** Lock-order registry: runtime lock-discipline checking.
+
+    The serving layer ([lib/serve]) shares a scheduler, a result cache
+    and a metrics registry between domains.  Deadlock freedom there
+    rests on a global discipline: every lock has a rank, and a domain
+    may only acquire a lock of {e strictly higher} rank than any lock it
+    already holds.  This module wraps [Mutex.t] so that discipline is
+    {e checked on every acquisition}, not just asserted in a comment:
+
+    - {b re-entrancy}: acquiring a lock the current domain already holds
+      would deadlock on OCaml's non-reentrant [Mutex.t]; it is recorded
+      and raised immediately rather than hanging the test suite;
+    - {b order inversion}: acquiring a lock whose rank is ≤ the rank of
+      any currently-held lock is recorded (and optionally raised) — two
+      domains doing this with two locks is the classic AB/BA deadlock.
+
+    Held-lock stacks live in domain-local storage, so checking is
+    per-domain and lock acquisition stays uncontended apart from the
+    wrapped mutex itself.  Violations accumulate in a global registry
+    that tests drain with {!violations} / {!reset}. *)
+
+type t
+(** A ranked, named mutex. *)
+
+type violation_kind = Reentrancy | Order_inversion
+
+type violation = {
+  kind : violation_kind;
+  domain : int;                (** acquiring domain's id *)
+  acquiring : string;          (** lock being acquired *)
+  acquiring_order : int;
+  held : (string * int) list;  (** (name, rank) held, innermost first *)
+}
+
+exception Lock_violation of violation
+
+val create : name:string -> order:int -> unit -> t
+(** Register a lock.  [order] is its rank in the global acquisition
+    order; the serving layer uses scheduler = 10, cache = 20,
+    metrics = 30/31. *)
+
+val name : t -> string
+val order : t -> int
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception).  Re-entrant acquisition
+    raises {!Lock_violation} (always — proceeding would deadlock);
+    rank inversions are recorded, and raised only under
+    {!set_raise_on_inversion}. *)
+
+val violation_message : violation -> string
+
+val violations : unit -> violation list
+(** Violations recorded since the last {!reset}, oldest first. *)
+
+val reset : unit -> unit
+
+val set_raise_on_inversion : bool -> unit
+(** Default [false]: inversions are recorded but execution continues
+    (the stress tests assert the registry stays empty). *)

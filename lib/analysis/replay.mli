@@ -1,0 +1,39 @@
+(** Deterministic-replay checking.
+
+    The repo's reproducibility claim is that a simulation is a pure
+    function of (graph, seed, parameters): every rerun must produce a
+    bit-identical result {e and} a bit-identical execution — same round
+    count, same per-round message counts, same words on the wire.
+    Hidden nondeterminism (ambient [Random] state, hash-order iteration
+    leaking into message order, wall-clock reads) shows up as an audit
+    diff long before it corrupts a cut value, so the checker runs a
+    program twice and diffs the full {!Mincut_congest.Network.audit}.
+
+    The combinators are generic (any ['a] with an explicit differ), so
+    [mincut_lint] also replays whole pipelines and diffs their
+    summaries. *)
+
+type 'a outcome = ('a, string list) result
+(** [Ok value] when both runs agreed ([value] is the first run's);
+    [Error diffs] listing every field that disagreed. *)
+
+val diff_audits :
+  Mincut_congest.Network.audit -> Mincut_congest.Network.audit -> string list
+(** Field-by-field differences (rounds, message totals, words, per-round
+    profile), empty when identical. *)
+
+val check : run:(unit -> 'a) -> diff:('a -> 'a -> string list) -> 'a outcome
+(** Evaluate [run] twice and diff the results. *)
+
+val check_program :
+  ?cfg:Mincut_congest.Config.t ->
+  words:('msg -> int) ->
+  Mincut_graph.Graph.t ->
+  ('state, 'msg) Mincut_congest.Network.program ->
+  Mincut_congest.Network.audit outcome
+(** Run a CONGEST program twice via {!Mincut_congest.Network.run} and
+    diff the audits. *)
+
+val diff_named : name:string -> equal:('a -> 'a -> bool) -> 'a -> 'a -> string list
+(** Helper for building composite differs: [[]] when equal, a one-entry
+    ["name differs"] list otherwise. *)

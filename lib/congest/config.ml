@@ -1,8 +1,18 @@
-type t = { words_per_message : int; max_rounds : int }
+type t = {
+  words_per_message : int;
+  max_rounds : int;
+  strict_edge_words : int option;
+}
 
-let default = { words_per_message = 4; max_rounds = 2_000_000 }
+let default =
+  { words_per_message = 4; max_rounds = 2_000_000; strict_edge_words = None }
 
 let with_budget words = { default with words_per_message = words }
+
+let strict ?budget t =
+  let cap = match budget with Some b -> b | None -> t.words_per_message in
+  if cap <= 0 then invalid_arg "Config.strict: budget must be positive";
+  { t with strict_edge_words = Some cap }
 
 let bits_per_word ~n =
   let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in

@@ -11,12 +11,26 @@
 type t = {
   words_per_message : int;  (** payload budget per message *)
   max_rounds : int;         (** engine watchdog; exceeded = failure *)
+  strict_edge_words : int option;
+      (** strict conformance mode: when [Some cap], the engine
+          additionally bounds the {e aggregate} words crossing each
+          directed edge in each round by [cap].  With one word standing
+          for Θ(log n) bits ({!bits_per_word}), a constant cap is
+          exactly the model's "O(log n) bits per edge per round"
+          discipline stated per edge rather than per message, so it
+          stays violated-or-not even under future relaxations of the
+          one-message-per-edge rule. *)
 }
 
 val default : t
-(** 4 words, 2_000_000 rounds. *)
+(** 4 words, 2_000_000 rounds, lenient (per-message budget only). *)
 
 val with_budget : int -> t
+
+val strict : ?budget:int -> t -> t
+(** [strict t] enables the per-edge-per-round aggregate word cap;
+    [budget] overrides the cap (default [t.words_per_message]).
+    Raises [Invalid_argument] on a non-positive budget. *)
 
 val bits_per_word : n:int -> int
 (** ⌈log₂ n⌉ + 1, the "O(log n) bits" a word stands for; used by the

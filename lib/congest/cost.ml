@@ -3,7 +3,10 @@ type t = { rounds : int; breakdown : (string * int) list }
 let zero = { rounds = 0; breakdown = [] }
 
 let step name rounds =
-  assert (rounds >= 0);
+  (* explicit raise, not [assert]: the invariant must survive
+     [-noassert] / release builds *)
+  if rounds < 0 then
+    invalid_arg (Printf.sprintf "Cost.step %S: negative rounds %d" name rounds);
   { rounds; breakdown = [ (name, rounds) ] }
 
 let ( ++ ) a b = { rounds = a.rounds + b.rounds; breakdown = a.breakdown @ b.breakdown }
@@ -17,7 +20,13 @@ let par a b =
       @ List.map (fun (name, r) -> ("(overlapped) " ^ name, r)) loser.breakdown;
   }
 
-let sum = List.fold_left ( ++ ) zero
+(* one concat over the whole chain: folding [(++)] would rebuild the
+   accumulated breakdown at every step, quadratic on long chains *)
+let sum costs =
+  {
+    rounds = List.fold_left (fun acc c -> acc + c.rounds) 0 costs;
+    breakdown = List.concat_map (fun c -> c.breakdown) costs;
+  }
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>total rounds: %d" t.rounds;

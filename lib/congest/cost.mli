@@ -21,7 +21,8 @@ type t = {
 val zero : t
 
 val step : string -> int -> t
-(** A single named step. *)
+(** A single named step.  Raises [Invalid_argument] on a negative round
+    count (an explicit raise, so the check survives [-noassert]). *)
 
 val ( ++ ) : t -> t -> t
 (** Sequential composition: rounds add, breakdowns concatenate. *)

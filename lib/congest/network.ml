@@ -1,6 +1,58 @@
 module Graph = Mincut_graph.Graph
 
-exception Model_violation of string
+type violation_kind =
+  | Oversized_message
+  | Non_neighbor_send
+  | Duplicate_send
+  | Edge_overload
+  | Watchdog
+
+type violation = {
+  kind : violation_kind;
+  round : int;
+  sender : int option;
+  receiver : int option;
+  words : int option;
+  budget : int option;
+}
+
+exception Model_violation of violation
+
+let kind_name = function
+  | Oversized_message -> "oversized-message"
+  | Non_neighbor_send -> "non-neighbor-send"
+  | Duplicate_send -> "duplicate-send"
+  | Edge_overload -> "edge-overload"
+  | Watchdog -> "watchdog"
+
+let violation_message v =
+  let endpoint = function Some x -> string_of_int x | None -> "-" in
+  match v.kind with
+  | Oversized_message ->
+      Printf.sprintf "round %d: node %s message of %s words to %s exceeds budget %s"
+        v.round (endpoint v.sender)
+        (endpoint v.words) (endpoint v.receiver) (endpoint v.budget)
+  | Non_neighbor_send ->
+      Printf.sprintf "round %d: node %s sent to non-neighbor %s" v.round
+        (endpoint v.sender) (endpoint v.receiver)
+  | Duplicate_send ->
+      Printf.sprintf "round %d: node %s sent twice to %s" v.round
+        (endpoint v.sender) (endpoint v.receiver)
+  | Edge_overload ->
+      Printf.sprintf
+        "round %d: edge %s->%s carried %s words, over the strict per-edge cap %s"
+        v.round (endpoint v.sender) (endpoint v.receiver) (endpoint v.words)
+        (endpoint v.budget)
+  | Watchdog ->
+      Printf.sprintf "watchdog: exceeded %s rounds" (endpoint v.budget)
+
+let () =
+  Printexc.register_printer (function
+    | Model_violation v -> Some ("Model_violation: " ^ violation_message v)
+    | _ -> None)
+
+let violate ?sender ?receiver ?words ?budget kind ~round =
+  raise (Model_violation { kind; round; sender; receiver; words; budget })
 
 type ('state, 'msg) program = {
   initial : int -> 'state;
@@ -15,10 +67,9 @@ type audit = {
   total_words : int;
   max_words : int;
   max_edge_load : int;
+  max_edge_words : int;
   messages_per_round : int array;
 }
-
-let violation fmt = Printf.ksprintf (fun s -> raise (Model_violation s)) fmt
 
 type 'msg mailbox = (int * 'msg) list array
 
@@ -40,6 +91,7 @@ let drive ?(cfg = Config.default) ~words ~stop g prog =
   let total_words = ref 0 in
   let per_round = ref [] in
   let max_words = ref 0 in
+  let max_edge_words = ref 0 in
   let last_traffic_round = ref (-1) in
   let round = ref 0 in
   let all_halted () =
@@ -48,31 +100,44 @@ let drive ?(cfg = Config.default) ~words ~stop g prog =
   in
   while not (stop ~round:!round ~all_halted:(all_halted () && not !pending)) do
     if !round >= cfg.Config.max_rounds then
-      violation "watchdog: exceeded %d rounds" cfg.Config.max_rounds;
+      violate Watchdog ~round:!round ~budget:cfg.Config.max_rounds;
     let next : _ mailbox = Array.make n [] in
-    let sent_this_round = Hashtbl.create 64 in
+    (* words in flight per directed edge this round; doubles as the
+       duplicate-send registry *)
+    let edge_words : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
     let sent_count = ref 0 in
     pending := false;
     for v = 0 to n - 1 do
       if not (prog.halted states.(v)) then begin
-        let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v) in
+        let inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) inboxes.(v) in
         let state', outs = prog.step ~node:v ~round:!round ~inbox states.(v) in
         states.(v) <- state';
         List.iter
           (fun (dst, payload) ->
             if not (Hashtbl.mem neighbors.(v) dst) then
-              violation "round %d: node %d sent to non-neighbor %d" !round v dst;
-            if Hashtbl.mem sent_this_round (v, dst) then
-              violation "round %d: node %d sent twice to %d" !round v dst;
-            Hashtbl.add sent_this_round (v, dst) ();
+              violate Non_neighbor_send ~round:!round ~sender:v ~receiver:dst;
+            if Hashtbl.mem edge_words (v, dst) then
+              violate Duplicate_send ~round:!round ~sender:v ~receiver:dst;
             let w = words payload in
             if w > cfg.Config.words_per_message then
-              violation "round %d: node %d message of %d words exceeds budget %d"
-                !round v w cfg.Config.words_per_message;
+              violate Oversized_message ~round:!round ~sender:v ~receiver:dst
+                ~words:w ~budget:cfg.Config.words_per_message;
+            let load =
+              w + (match Hashtbl.find_opt edge_words (v, dst) with
+                  | Some prior -> prior
+                  | None -> 0)
+            in
+            Hashtbl.replace edge_words (v, dst) load;
+            (match cfg.Config.strict_edge_words with
+            | Some cap when load > cap ->
+                violate Edge_overload ~round:!round ~sender:v ~receiver:dst
+                  ~words:load ~budget:cap
+            | _ -> ());
             incr total_messages;
             incr sent_count;
             total_words := !total_words + w;
             max_words := max !max_words w;
+            max_edge_words := max !max_edge_words load;
             last_traffic_round := !round;
             next.(dst) <- (v, payload) :: next.(dst);
             pending := true)
@@ -90,6 +155,7 @@ let drive ?(cfg = Config.default) ~words ~stop g prog =
       total_words = !total_words;
       max_words = !max_words;
       max_edge_load = (if !total_messages > 0 then 1 else 0);
+      max_edge_words = !max_edge_words;
       messages_per_round = Array.of_list (List.rev !per_round);
     }
   in

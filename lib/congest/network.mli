@@ -5,14 +5,45 @@
     round [r+1], and the engine enforces the model's discipline —
     messages may only be addressed to neighbors, at most one message per
     (sender, receiver) pair per round, and each payload must fit the
-    configured word budget.  Violations raise [Model_violation]
+    configured word budget.  Violations raise {!Model_violation}
     immediately: an algorithm that breaks the model is a bug, not a
-    statistic.
+    statistic.  Each violation carries full provenance — the kind, the
+    offending round, the sender/receiver when applicable, and the
+    measured words against the violated budget — so the conformance
+    auditor ([mincut_lint]) and the tests can assert {e which} rule
+    broke and where.
 
     The audit of a run (message totals, maximum payload, rounds) feeds
     experiment T5. *)
 
-exception Model_violation of string
+type violation_kind =
+  | Oversized_message  (** payload exceeded [words_per_message] *)
+  | Non_neighbor_send  (** destination is not adjacent to the sender *)
+  | Duplicate_send     (** second message on one (sender, receiver) pair
+                           in one round *)
+  | Edge_overload      (** strict mode: aggregate words on one directed
+                           edge in one round exceeded the cap *)
+  | Watchdog           (** the configured round limit was reached *)
+
+type violation = {
+  kind : violation_kind;
+  round : int;            (** round in which the rule broke *)
+  sender : int option;    (** offending sender ([None] for watchdog) *)
+  receiver : int option;  (** intended receiver ([None] for watchdog) *)
+  words : int option;     (** measured words, for budget violations *)
+  budget : int option;    (** the violated limit: word budget, edge cap,
+                              or round limit *)
+}
+
+exception Model_violation of violation
+
+val kind_name : violation_kind -> string
+(** Stable kebab-case identifier, e.g. ["oversized-message"] — the spelling
+    used in JSON conformance reports. *)
+
+val violation_message : violation -> string
+(** Human-readable one-line rendering (also installed as the
+    [Printexc] printer for {!Model_violation}). *)
 
 type ('state, 'msg) program = {
   initial : int -> 'state;
@@ -38,6 +69,9 @@ type audit = {
   max_edge_load : int;      (** max messages crossing one edge in one
                                 round, per direction; always <= 1 by
                                 construction — reported for the audit *)
+  max_edge_words : int;     (** max aggregate words crossing one directed
+                                edge in one round — the quantity the
+                                strict mode ({!Config.strict}) caps *)
   messages_per_round : int array;
       (** congestion profile: how many messages were in flight in each
           executed round (length = rounds) *)

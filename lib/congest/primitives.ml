@@ -5,7 +5,7 @@ module Graph = Mincut_graph.Graph
    node pair, so flooding primitives address each neighbor once even in
    multigraphs (conservative for round counts). *)
 let distinct_neighbors g v =
-  List.sort_uniq compare (Array.to_list (Array.map fst (Graph.adj g v)))
+  List.sort_uniq Int.compare (Array.to_list (Array.map fst (Graph.adj g v)))
 
 let min_edge_between g u v =
   let best = ref (-1) in

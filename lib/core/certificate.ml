@@ -1,5 +1,4 @@
 module Graph = Mincut_graph.Graph
-module Tree = Mincut_graph.Tree
 module Bitset = Mincut_util.Bitset
 module Network = Mincut_congest.Network
 module Primitives = Mincut_congest.Primitives
@@ -20,7 +19,7 @@ type xch = { phase : int; local_crossing : int }
 
 let local_crossings ~cfg g bits =
   let distinct_neighbors v =
-    List.sort_uniq compare (Array.to_list (Array.map fst (Graph.adj g v)))
+    List.sort_uniq Int.compare (Array.to_list (Array.map fst (Graph.adj g v)))
   in
   let prog : (xch, int) Network.program =
     {

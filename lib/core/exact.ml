@@ -74,8 +74,8 @@ let run ?(params = Params.default) ?trees g =
            charged at the Kutten–Peleg bound as the paper prescribes *)
         let d = Mincut_mst.Boruvka_dist.run ~cfg:params.Params.congest g in
         assert (
-          List.sort compare d.Mincut_mst.Boruvka_dist.edge_ids
-          = List.sort compare packing.Tree_packing.trees.(0));
+          List.sort Int.compare d.Mincut_mst.Boruvka_dist.edge_ids
+          = List.sort Int.compare packing.Tree_packing.trees.(0));
         Cost.( ++ )
           (Cost.step "tree 1: real distributed Boruvka MST"
              d.Mincut_mst.Boruvka_dist.cost.Cost.rounds)

@@ -375,13 +375,13 @@ let run ?(params = Params.default) ?target g tree =
       let known, rounds = frag_multi_upcast ~cfg:params.Params.congest g tree fr initial_items in
       Array.iteri
         (fun i r ->
-          let expected = List.sort compare fr.Fragments.frag_children.(i) in
+          let expected = List.sort Int.compare fr.Fragments.frag_children.(i) in
           let got =
             List.filter
               (fun j -> fr.Fragments.frag_parent.(j) = i)
               (ISet.elements known.(r))
           in
-          assert (List.sort compare got = expected))
+          assert (List.sort Int.compare got = expected))
         fr.Fragments.roots;
       Cost.step "step2: upcast child-fragment lists (real)" rounds
     end

@@ -2,7 +2,6 @@ module Graph = Mincut_graph.Graph
 module Tree = Mincut_graph.Tree
 module Bfs = Mincut_graph.Bfs
 module Small_cuts = Mincut_graph.Small_cuts
-module Bridge = Mincut_graph.Bridge
 module Bitset = Mincut_util.Bitset
 module Cost = Mincut_congest.Cost
 

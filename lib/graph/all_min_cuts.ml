@@ -1,5 +1,4 @@
 module Bitset = Mincut_util.Bitset
-module Rng = Mincut_util.Rng
 
 type t = { value : int; sides : Bitset.t list }
 

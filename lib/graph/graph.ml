@@ -106,9 +106,14 @@ let cut_value g ~in_cut =
 
 let cut_of_bitset g side = cut_value g ~in_cut:(Mincut_util.Bitset.mem side)
 
+let compare_triple (a1, a2, a3) (b1, b2, b3) =
+  match Int.compare a1 b1 with
+  | 0 -> ( match Int.compare a2 b2 with 0 -> Int.compare a3 b3 | c -> c)
+  | c -> c
+
 let canon_edges g =
   let l = Array.to_list (Array.map (fun e -> (e.u, e.v, e.w)) g.edges) in
-  List.sort compare l
+  List.sort compare_triple l
 
 let equal_structure a b = a.n = b.n && canon_edges a = canon_edges b
 

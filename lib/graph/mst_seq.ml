@@ -9,7 +9,7 @@ let kruskal_by g ~cmp =
   List.rev !acc
 
 let weight_order (a : Graph.edge) (b : Graph.edge) =
-  match compare a.w b.w with 0 -> compare a.id b.id | c -> c
+  match Int.compare a.w b.w with 0 -> Int.compare a.id b.id | c -> c
 
 let kruskal g = kruskal_by g ~cmp:weight_order
 
@@ -21,7 +21,7 @@ let prim g =
     let acc = ref [] in
     let heap =
       Mincut_util.Heap.create ~cmp:(fun (w1, id1, _) (w2, id2, _) ->
-          match compare w1 w2 with 0 -> compare id1 id2 | c -> c)
+          match Int.compare w1 w2 with 0 -> Int.compare id1 id2 | c -> c)
     in
     let visit v =
       in_tree.(v) <- true;

@@ -9,7 +9,7 @@ let scan g =
   (* lazy max-heap of (key, vertex) *)
   let heap =
     Mincut_util.Heap.create ~cmp:(fun (k1, v1) (k2, v2) ->
-        match compare k2 k1 with 0 -> compare v1 v2 | c -> c)
+        match Int.compare k2 k1 with 0 -> Int.compare v1 v2 | c -> c)
   in
   for v = 0 to n - 1 do
     Mincut_util.Heap.push heap (0, v)

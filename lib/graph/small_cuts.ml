@@ -1,4 +1,3 @@
-module Bitset = Mincut_util.Bitset
 
 (* A bridge in the weighted sense must carry weight 1: an edge of weight
    w >= 2 stands for w parallel unit edges, and removing one of them
@@ -33,7 +32,12 @@ let cut_pairs g =
             (Bridge.bridges without)
         end)
       tree_ids;
-    let pairs = List.sort_uniq compare !acc in
+    let pairs =
+      List.sort_uniq
+        (fun (a1, a2) (b1, b2) ->
+          match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+        !acc
+    in
     (* pairs that include a bridge of G are 1-cuts plus a spectator; keep
        only genuine 2-cuts *)
     let bs = bridges g in

@@ -20,7 +20,7 @@ let none_cand = (max_int, max_int)
 let better (w1, i1) (w2, i2) = if w1 < w2 || (w1 = w2 && i1 < i2) then (w1, i1) else (w2, i2)
 
 let distinct_neighbors g v =
-  List.sort_uniq compare (Array.to_list (Array.map fst (Graph.adj g v)))
+  List.sort_uniq Int.compare (Array.to_list (Array.map fst (Graph.adj g v)))
 
 (* --- step A: 1-round fragment id exchange ------------------------- *)
 
@@ -261,7 +261,14 @@ let run ?cfg g =
           allowed.(v) <- (u, id) :: allowed.(v))
         chosen;
       (* dedupe targets (parallel merge choices may repeat a pair) *)
-      Array.iteri (fun v l -> allowed.(v) <- List.sort_uniq compare l) allowed;
+      Array.iteri
+        (fun v l ->
+          allowed.(v) <-
+            List.sort_uniq
+              (fun (a1, a2) (b1, b2) ->
+                match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+              l)
+        allowed;
       let states, c4 = flood_new_ids ?cfg g ~allowed ~is_leader ~new_id in
       Array.iteri
         (fun v (st : fl_state) ->

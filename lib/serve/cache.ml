@@ -1,6 +1,12 @@
+module Lockcheck = Mincut_analysis.Lockcheck
+
 (* Hash table of intrusive doubly-linked nodes; [head] is most recently
    used, [tail] least.  The sentinel-free list is managed by hand; every
-   resident node is reachable from the table, so no cycles leak. *)
+   resident node is reachable from the table, so no cycles leak.
+
+   Thread safety: every public operation holds the cache's rank-20
+   checked mutex; the list/table manipulation helpers below are only
+   reachable from inside it. *)
 
 type 'v node = {
   key : string;
@@ -15,6 +21,7 @@ type 'v t = {
   cost_of : 'v -> int;
   max_entries : int;
   max_cost : int;
+  lock : Lockcheck.t;
   mutable head : 'v node option;
   mutable tail : 'v node option;
   mutable total_cost : int;
@@ -31,6 +38,7 @@ let create ?(max_entries = 4096) ?(max_cost = 16_777_216) ~cost () =
     cost_of = cost;
     max_entries;
     max_cost;
+    lock = Lockcheck.create ~name:"serve.cache" ~order:20 ();
     head = None;
     tail = None;
     total_cost = 0;
@@ -63,16 +71,19 @@ let touch t node =
       push_front t node
 
 let find t k =
-  match Hashtbl.find_opt t.table k with
-  | Some node ->
-      t.hits <- t.hits + 1;
-      touch t node;
-      Some node.value
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+  Lockcheck.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some node ->
+          t.hits <- t.hits + 1;
+          touch t node;
+          Some node.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
 
-let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table k)
+let peek t k =
+  Lockcheck.with_lock t.lock (fun () ->
+      Option.map (fun n -> n.value) (Hashtbl.find_opt t.table k))
 
 let evict_one t =
   match t.tail with
@@ -95,36 +106,39 @@ let rec enforce_bounds t =
   end
 
 let add t k v =
-  let cost = t.cost_of v in
-  (match Hashtbl.find_opt t.table k with
-  | Some node ->
-      t.total_cost <- t.total_cost - node.cost + cost;
-      node.value <- v;
-      node.cost <- cost;
-      touch t node
-  | None ->
-      let node = { key = k; value = v; cost; prev = None; next = None } in
-      Hashtbl.add t.table k node;
-      push_front t node;
-      t.total_cost <- t.total_cost + cost);
-  enforce_bounds t
+  Lockcheck.with_lock t.lock (fun () ->
+      let cost = t.cost_of v in
+      (match Hashtbl.find_opt t.table k with
+      | Some node ->
+          t.total_cost <- t.total_cost - node.cost + cost;
+          node.value <- v;
+          node.cost <- cost;
+          touch t node
+      | None ->
+          let node = { key = k; value = v; cost; prev = None; next = None } in
+          Hashtbl.add t.table k node;
+          push_front t node;
+          t.total_cost <- t.total_cost + cost);
+      enforce_bounds t)
 
-let mem t k = Hashtbl.mem t.table k
-let length t = Hashtbl.length t.table
-let total_cost t = t.total_cost
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
+let mem t k = Lockcheck.with_lock t.lock (fun () -> Hashtbl.mem t.table k)
+let length t = Lockcheck.with_lock t.lock (fun () -> Hashtbl.length t.table)
+let total_cost t = Lockcheck.with_lock t.lock (fun () -> t.total_cost)
+let hits t = Lockcheck.with_lock t.lock (fun () -> t.hits)
+let misses t = Lockcheck.with_lock t.lock (fun () -> t.misses)
+let evictions t = Lockcheck.with_lock t.lock (fun () -> t.evictions)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None;
-  t.total_cost <- 0
+  Lockcheck.with_lock t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.total_cost <- 0)
 
 let keys_mru_first t =
-  let rec walk acc = function
-    | None -> List.rev acc
-    | Some node -> walk (node.key :: acc) node.next
-  in
-  walk [] t.head
+  Lockcheck.with_lock t.lock (fun () ->
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some node -> walk (node.key :: acc) node.next
+      in
+      walk [] t.head)

@@ -10,9 +10,11 @@
       count is small).
 
     Lookup, insert and eviction are O(1) (hash table + intrusive
-    doubly-linked recency list).  The structure is not thread-safe; the
-    service confines all cache access to the coordinating domain and
-    ships only pure solving work to the pool. *)
+    doubly-linked recency list).  Every operation holds the cache's
+    rank-20 {!Mincut_analysis.Lockcheck} mutex (above the scheduler's
+    rank 10, below metrics' rank 30 in the serving layer's lock order),
+    so concurrent domains may share one cache and the lock-discipline
+    checker audits every acquisition at test time. *)
 
 type 'v t
 

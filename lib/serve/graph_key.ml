@@ -9,7 +9,12 @@ let canonical_triples g =
   in
   (* edges already satisfy u < v, so plain lexicographic order on the
      triples is a canonical form of the multiset *)
-  Array.sort compare triples;
+  Array.sort
+    (fun (u1, v1, w1) (u2, v2, w2) ->
+      match Int.compare u1 u2 with
+      | 0 -> ( match Int.compare v1 v2 with 0 -> Int.compare w1 w2 | c -> c)
+      | c -> c)
+    triples;
   triples
 
 let structural_hash g =

@@ -1,13 +1,21 @@
 module Stats = Mincut_util.Stats
 module Rng = Mincut_util.Rng
+module Lockcheck = Mincut_analysis.Lockcheck
 
-type counter = { mutable c : int }
+(* Counters and gauges are single atomic cells: domains record them
+   without any lock.  Histograms mutate several fields per observation,
+   so each carries its own rank-31 checked mutex; the registry tables
+   are guarded by a rank-30 mutex (registry before histogram is the
+   lock order, as in [snapshot]). *)
 
-type gauge = { mutable g : float }
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
 
 (* Reservoir with exact count/sum/max: quantiles degrade gracefully to
    estimates once [capacity] is exceeded (Vitter's algorithm R). *)
 type histogram = {
+  hlock : Lockcheck.t;
   mutable n : int;
   mutable sum : float;
   mutable hmax : float;
@@ -19,33 +27,41 @@ type histogram = {
 let reservoir_capacity = 4096
 
 type t = {
+  rlock : Lockcheck.t;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
 }
 
 let create () =
-  { counters = Hashtbl.create 16; gauges = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+  {
+    rlock = Lockcheck.create ~name:"serve.metrics" ~order:30 ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
 
-let get_or_add table name make =
-  match Hashtbl.find_opt table name with
-  | Some x -> x
-  | None ->
-      let x = make () in
-      Hashtbl.add table name x;
-      x
+let get_or_add t table name make =
+  Lockcheck.with_lock t.rlock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some x -> x
+      | None ->
+          let x = make () in
+          Hashtbl.add table name x;
+          x)
 
-let counter t name = get_or_add t.counters name (fun () -> { c = 0 })
-let incr ?(by = 1) c = c.c <- c.c + by
-let counter_value c = c.c
+let counter t name = get_or_add t t.counters name (fun () -> Atomic.make 0)
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
 
-let gauge t name = get_or_add t.gauges name (fun () -> { g = 0.0 })
-let set g v = g.g <- v
-let gauge_value g = g.g
+let gauge t name = get_or_add t t.gauges name (fun () -> Atomic.make 0.0)
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let histogram t name =
-  get_or_add t.histograms name (fun () ->
+  get_or_add t t.histograms name (fun () ->
       {
+        hlock = Lockcheck.create ~name:("serve.metrics.hist:" ^ name) ~order:31 ();
         n = 0;
         sum = 0.0;
         hmax = neg_infinity;
@@ -55,18 +71,19 @@ let histogram t name =
       })
 
 let observe h v =
-  h.n <- h.n + 1;
-  h.sum <- h.sum +. v;
-  if v > h.hmax then h.hmax <- v;
-  if h.filled < reservoir_capacity then begin
-    h.samples.(h.filled) <- v;
-    h.filled <- h.filled + 1
-  end
-  else
-    let j = Rng.int h.rng h.n in
-    if j < reservoir_capacity then h.samples.(j) <- v
+  Lockcheck.with_lock h.hlock (fun () ->
+      h.n <- h.n + 1;
+      h.sum <- h.sum +. v;
+      if v > h.hmax then h.hmax <- v;
+      if h.filled < reservoir_capacity then begin
+        h.samples.(h.filled) <- v;
+        h.filled <- h.filled + 1
+      end
+      else
+        let j = Rng.int h.rng h.n in
+        if j < reservoir_capacity then h.samples.(j) <- v)
 
-let histogram_count h = h.n
+let histogram_count h = Lockcheck.with_lock h.hlock (fun () -> h.n)
 
 (* ---- snapshots ------------------------------------------------------- *)
 
@@ -87,30 +104,34 @@ type snapshot = {
 }
 
 let summarize_histogram h =
-  if h.n = 0 then
-    { count = 0; mean = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0 }
-  else
-    let xs = Array.sub h.samples 0 h.filled in
-    {
-      count = h.n;
-      mean = h.sum /. float_of_int h.n;
-      p50 = Stats.percentile xs 0.5;
-      p90 = Stats.percentile xs 0.9;
-      p99 = Stats.percentile xs 0.99;
-      max = h.hmax;
-    }
+  Lockcheck.with_lock h.hlock (fun () ->
+      if h.n = 0 then
+        { count = 0; mean = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0 }
+      else
+        let xs = Array.sub h.samples 0 h.filled in
+        {
+          count = h.n;
+          mean = h.sum /. float_of_int h.n;
+          p50 = Stats.percentile xs 0.5;
+          p90 = Stats.percentile xs 0.9;
+          p99 = Stats.percentile xs 0.99;
+          max = h.hmax;
+        })
 
 let sorted_bindings table f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot (reg : t) =
-  {
-    time = Unix.gettimeofday ();
-    counters = sorted_bindings reg.counters (fun c -> c.c);
-    gauges = sorted_bindings reg.gauges (fun g -> g.g);
-    histograms = sorted_bindings reg.histograms summarize_histogram;
-  }
+  (* registry (30) before histogram (31): the one nested acquisition in
+     the serving layer, and the reason histograms rank above tables *)
+  Lockcheck.with_lock reg.rlock (fun () ->
+      {
+        time = Unix.gettimeofday ();
+        counters = sorted_bindings reg.counters Atomic.get;
+        gauges = sorted_bindings reg.gauges Atomic.get;
+        histograms = sorted_bindings reg.histograms summarize_histogram;
+      })
 
 let to_json (s : snapshot) =
   Json.Obj

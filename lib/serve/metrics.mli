@@ -12,9 +12,13 @@
       runs are reproducible.
 
     Snapshots are immutable and serializable as single JSON lines, which
-    both the [STATS] protocol verb and [mincut_cli stats] consume.  The
-    registry is not thread-safe; the service records from the
-    coordinating domain only. *)
+    both the [STATS] protocol verb and [mincut_cli stats] consume.
+
+    The registry is safe to record into from any domain: counters and
+    gauges are single atomic cells, histograms and the name tables are
+    guarded by ranked {!Mincut_analysis.Lockcheck} mutexes (registry =
+    rank 30, each histogram = rank 31) so the lock-discipline checker
+    audits every acquisition at test time. *)
 
 type t
 

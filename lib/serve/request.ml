@@ -19,9 +19,9 @@ type response = {
 }
 
 let compare_order (seq_a, a) (seq_b, b) =
-  let c = compare b.priority a.priority in
+  let c = Int.compare b.priority a.priority in
   if c <> 0 then c
   else
     let d x = match x.deadline with Some d -> d | None -> infinity in
-    let c = compare (d a) (d b) in
-    if c <> 0 then c else compare seq_a seq_b
+    let c = Float.compare (d a) (d b) in
+    if c <> 0 then c else Int.compare seq_a seq_b

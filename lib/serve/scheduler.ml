@@ -1,32 +1,48 @@
+module Lockcheck = Mincut_analysis.Lockcheck
+
 type ticket = int
 
 type entry = { ticket : ticket; request : Request.t; key : string }
 
 type t = {
   key_of : Request.t -> string;
+  lock : Lockcheck.t;  (* rank 10: acquired before the cache's (20) *)
   mutable next_ticket : int;
   mutable entries : entry list;  (* reverse submission order *)
 }
 
-let create ~key () = { key_of = key; next_ticket = 0; entries = [] }
+let create ~key () =
+  {
+    key_of = key;
+    lock = Lockcheck.create ~name:"serve.scheduler" ~order:10 ();
+    next_ticket = 0;
+    entries = [];
+  }
 
 let submit t request =
-  let ticket = t.next_ticket in
-  t.next_ticket <- ticket + 1;
-  t.entries <- { ticket; request; key = t.key_of request } :: t.entries;
-  ticket
+  Lockcheck.with_lock t.lock (fun () ->
+      let ticket = t.next_ticket in
+      t.next_ticket <- ticket + 1;
+      t.entries <- { ticket; request; key = t.key_of request } :: t.entries;
+      ticket)
 
-let pending t = List.length t.entries
+let pending t = Lockcheck.with_lock t.lock (fun () -> List.length t.entries)
 
 let depth t =
-  let keys = Hashtbl.create 16 in
-  List.iter (fun e -> Hashtbl.replace keys e.key ()) t.entries;
-  Hashtbl.length keys
+  Lockcheck.with_lock t.lock (fun () ->
+      let keys = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace keys e.key ()) t.entries;
+      Hashtbl.length keys)
 
 let drain t =
-  let entries = List.rev t.entries in
-  t.entries <- [];
-  (* group by key, keeping submission order within each group *)
+  let entries =
+    Lockcheck.with_lock t.lock (fun () ->
+        let entries = List.rev t.entries in
+        t.entries <- [];
+        entries)
+  in
+  (* group by key, keeping submission order within each group; pure
+     post-processing on the drained snapshot, outside the lock *)
   let groups : (string, entry list ref) Hashtbl.t = Hashtbl.create 16 in
   let order = ref [] in
   List.iter

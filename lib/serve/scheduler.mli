@@ -13,7 +13,10 @@
     be delayed by having first been submitted with low priority.
 
     The scheduler never runs anything itself; it is a pure queueing
-    structure driven by {!Service}. *)
+    structure driven by {!Service}.  Its mutable state is guarded by the
+    serving layer's rank-10 {!Mincut_analysis.Lockcheck} mutex — first
+    in the scheduler < cache < metrics lock order — so submissions may
+    arrive from any domain. *)
 
 type ticket = int
 (** Handle identifying one submission within this scheduler. *)

@@ -1,4 +1,3 @@
-module Graph = Mincut_graph.Graph
 module Bitset = Mincut_util.Bitset
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
@@ -172,7 +171,7 @@ let flush t =
   let now = Unix.gettimeofday () in
   let responses =
     !answered
-    |> List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> compare a b)
+    |> List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> Int.compare a b)
     |> List.map (fun (tk, r, key, summary, cached, elapsed_ms) ->
            Metrics.observe (if cached then t.warm_ms else t.cold_ms) elapsed_ms;
            note_completion t r now;

@@ -9,9 +9,9 @@ type t = { trees : int list array; loads : int array }
    loads stay small (≤ #trees) so there is no overflow risk. *)
 let load_order loads (a : Graph.edge) (b : Graph.edge) =
   let la = loads.(a.id) * b.w and lb = loads.(b.id) * a.w in
-  match compare la lb with
+  match Int.compare la lb with
   | 0 -> (
-      match compare a.w b.w with 0 -> compare a.id b.id | c -> c)
+      match Int.compare a.w b.w with 0 -> Int.compare a.id b.id | c -> c)
   | c -> c
 
 let greedy g ~trees =
@@ -79,8 +79,8 @@ let disjoint_pass g rank =
     in
     Array.sort
       (fun (a : Graph.edge) (b : Graph.edge) ->
-        match compare capacity.(b.id) capacity.(a.id) with
-        | 0 -> compare rank.(a.id) rank.(b.id)
+        match Int.compare capacity.(b.id) capacity.(a.id) with
+        | 0 -> Int.compare rank.(a.id) rank.(b.id)
         | c -> c)
       es;
     let acc = ref [] in

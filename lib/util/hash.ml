@@ -24,7 +24,7 @@ let to_hex v = Printf.sprintf "%016Lx" v
 let of_hex s =
   if String.length s <> 16 then None
   else
-    try Some (Int64.of_string ("0x" ^ s)) with _ -> None
+    try Some (Int64.of_string ("0x" ^ s)) with Failure _ -> None
 
 let string s =
   let t = create () in

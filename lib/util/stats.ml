@@ -25,7 +25,7 @@ let percentile xs q =
   let n = Array.length xs in
   assert (n > 0 && q >= 0.0 && q <= 1.0);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else
     let pos = q *. float_of_int (n - 1) in

@@ -39,6 +39,16 @@ let test_engine_delivers_neighbors () =
     states;
   check_int "messages = 2m" (2 * Graph.m g) audit.Network.total_messages
 
+(* Run a thunk expected to break the model and hand back the violation
+   with its provenance. *)
+let expect_violation name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Model_violation, none raised" name
+  | exception Network.Model_violation v -> v
+
+let check_opt name expected got =
+  check_bool name true (got = expected)
+
 let test_engine_rejects_non_neighbor () =
   let g = Generators.path 3 in
   let prog : (bool, int) Network.program =
@@ -48,11 +58,16 @@ let test_engine_rejects_non_neighbor () =
       halted = (fun b -> b);
     }
   in
-  check_bool "violation raised" true
-    (try
-       ignore (Network.run ~words:words1 g prog);
-       false
-     with Network.Model_violation _ -> true)
+  let v =
+    expect_violation "non-neighbor" (fun () -> Network.run ~words:words1 g prog)
+  in
+  check_bool "kind" true (v.Network.kind = Network.Non_neighbor_send);
+  check_int "round" 0 v.Network.round;
+  check_opt "sender" (Some 0) v.Network.sender;
+  check_opt "receiver" (Some 2) v.Network.receiver;
+  check_bool "message names rule" true
+    (String.length (Network.violation_message v) > 0
+    && Network.kind_name v.Network.kind = "non-neighbor-send")
 
 let test_engine_rejects_duplicate_send () =
   let g = Generators.path 2 in
@@ -65,11 +80,12 @@ let test_engine_rejects_duplicate_send () =
       halted = (fun b -> b);
     }
   in
-  check_bool "duplicate send rejected" true
-    (try
-       ignore (Network.run ~words:words1 g prog);
-       false
-     with Network.Model_violation _ -> true)
+  let v =
+    expect_violation "duplicate" (fun () -> Network.run ~words:words1 g prog)
+  in
+  check_bool "kind" true (v.Network.kind = Network.Duplicate_send);
+  check_opt "sender" (Some 0) v.Network.sender;
+  check_opt "receiver" (Some 1) v.Network.receiver
 
 let test_engine_rejects_oversized () =
   let g = Generators.path 2 in
@@ -80,11 +96,14 @@ let test_engine_rejects_oversized () =
       halted = (fun b -> b);
     }
   in
-  check_bool "oversized rejected" true
-    (try
-       ignore (Network.run ~cfg:(Config.with_budget 2) ~words:(fun _ -> 3) g prog);
-       false
-     with Network.Model_violation _ -> true)
+  let v =
+    expect_violation "oversized" (fun () ->
+        Network.run ~cfg:(Config.with_budget 2) ~words:(fun _ -> 3) g prog)
+  in
+  check_bool "kind" true (v.Network.kind = Network.Oversized_message);
+  check_opt "measured words" (Some 3) v.Network.words;
+  check_opt "violated budget" (Some 2) v.Network.budget;
+  check_opt "sender" (Some 0) v.Network.sender
 
 let test_engine_rejects_self_send () =
   let g = Generators.path 3 in
@@ -95,11 +114,11 @@ let test_engine_rejects_self_send () =
       halted = (fun b -> b);
     }
   in
-  check_bool "self send rejected" true
-    (try
-       ignore (Network.run ~words:words1 g prog);
-       false
-     with Network.Model_violation _ -> true)
+  let v =
+    expect_violation "self send" (fun () -> Network.run ~words:words1 g prog)
+  in
+  check_bool "kind" true (v.Network.kind = Network.Non_neighbor_send);
+  check_opt "sender = receiver" v.Network.sender v.Network.receiver
 
 let test_engine_watchdog () =
   let g = Generators.path 2 in
@@ -110,14 +129,51 @@ let test_engine_watchdog () =
       halted = (fun () -> false);
     }
   in
-  check_bool "watchdog fires" true
+  let v =
+    expect_violation "watchdog" (fun () ->
+        Network.run
+          ~cfg:{ Config.default with Config.max_rounds = 10 }
+          ~words:words1 g prog)
+  in
+  check_bool "kind" true (v.Network.kind = Network.Watchdog);
+  check_opt "no sender" None v.Network.sender;
+  check_opt "round limit as budget" (Some 10) v.Network.budget;
+  check_int "round" 10 v.Network.round
+
+let test_engine_strict_edge_overload () =
+  (* one word per message passes the lenient per-message budget but two
+     messages never cross one edge in one round, so the only way to trip
+     Edge_overload is a payload that fits words_per_message yet exceeds
+     the strict per-edge cap *)
+  let g = Generators.path 2 in
+  let prog : (bool, int) Network.program =
+    {
+      initial = (fun _ -> false);
+      step = (fun ~node ~round:_ ~inbox:_ _ -> if node = 0 then (true, [ (1, 0) ]) else (true, []));
+      halted = (fun b -> b);
+    }
+  in
+  (* lenient run with 3-word payloads is fine under the default budget *)
+  let _, audit = Network.run ~words:(fun _ -> 3) g prog in
+  check_int "lenient max_edge_words" 3 audit.Network.max_edge_words;
+  let v =
+    expect_violation "edge overload" (fun () ->
+        Network.run
+          ~cfg:(Config.strict ~budget:2 Config.default)
+          ~words:(fun _ -> 3) g prog)
+  in
+  check_bool "kind" true (v.Network.kind = Network.Edge_overload);
+  check_opt "aggregate words" (Some 3) v.Network.words;
+  check_opt "edge cap" (Some 2) v.Network.budget;
+  check_opt "sender" (Some 0) v.Network.sender;
+  check_opt "receiver" (Some 1) v.Network.receiver
+
+let test_strict_rejects_bad_budget () =
+  check_bool "non-positive cap" true
     (try
-       ignore
-         (Network.run
-            ~cfg:{ Config.default with Config.max_rounds = 10 }
-            ~words:words1 g prog);
+       ignore (Config.strict ~budget:0 Config.default);
        false
-     with Network.Model_violation _ -> true)
+     with Invalid_argument _ -> true)
 
 let test_bfs_tree_real () =
   List.iter
@@ -274,6 +330,8 @@ let suite =
     tc "engine: rejects oversized messages" test_engine_rejects_oversized;
     tc "engine: rejects self sends" test_engine_rejects_self_send;
     tc "engine: watchdog" test_engine_watchdog;
+    tc "engine: strict mode catches edge overload" test_engine_strict_edge_overload;
+    tc "config: strict rejects bad budget" test_strict_rejects_bad_budget;
     tc "primitives: bfs tree (real rounds)" test_bfs_tree_real;
     tc "primitives: convergecast sum" test_convergecast_sum_real;
     tc "primitives: pipelined broadcast" test_broadcast_items_real;

@@ -18,4 +18,5 @@ let () =
       ("small-cuts", Test_small_cuts.suite);
       ("extensions", Test_extensions.suite);
       ("serve", Test_serve.suite);
+      ("analysis", Test_analysis.suite);
     ]
