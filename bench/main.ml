@@ -26,6 +26,7 @@ let experiments =
     ("a3", Experiments.a3);
     ("a4", Experiments.a4);
     ("serve", Workloads.serve_throughput);
+    ("sim", Sim.run);
   ]
 
 let run_one id =
@@ -39,11 +40,15 @@ let run_one id =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* "--csv DIR" anywhere in the arguments activates CSV artifacts *)
+  (* "--csv DIR" anywhere in the arguments activates CSV artifacts;
+     "--quick" shrinks iteration counts (CI smoke runs) *)
   let args =
     let rec strip = function
       | "--csv" :: dir :: rest ->
           Mincut_util.Table.set_csv_dir (Some dir);
+          strip rest
+      | "--quick" :: rest ->
+          Sim.quick := true;
           strip rest
       | x :: rest -> x :: strip rest
       | [] -> []

@@ -1,0 +1,159 @@
+(* sim — CONGEST engine hot-path benchmark.
+
+   Two questions, one artifact (BENCH_sim.json):
+
+   1. How much faster is the flat-array driver ({!Mincut_congest.Network})
+      than the seed driver preserved as {!Mincut_congest.Network_reference}?
+      Both execute the same BFS flooding program on the lint replay
+      workloads; audits must agree exactly (the bench fails otherwise),
+      and the artifact records rounds/sec, messages/sec and minor-heap
+      words per run for each driver.
+
+   2. Does the domain fan-out pay for itself without changing answers?
+      The exact pipeline runs with workers=1 and workers=4; summaries
+      must be bit-identical (value, side, rounds, breakdown) — that
+      equality is asserted here and in CI's quick mode. *)
+
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Rng = Mincut_util.Rng
+module Json = Mincut_util.Json
+module Network = Mincut_congest.Network
+module Reference = Mincut_congest.Network_reference
+module Primitives = Mincut_congest.Primitives
+module Replay = Mincut_analysis.Replay
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+
+(* CI smoke mode: fewer iterations, same assertions. *)
+let quick = ref false
+
+(* Same workloads the lint replay pass pins down. *)
+let workloads () =
+  [
+    ("torus4", Generators.torus 4 4);
+    ("grid5", Generators.grid 5 5);
+    ("gnp24", Generators.gnp_connected ~rng:(Rng.create 12) 24 0.3);
+  ]
+
+(* Wall time (ms) and minor-heap words for [iters] runs of [f]. *)
+let measure ~iters f =
+  ignore (f ());
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let words = Gc.minor_words () -. w0 in
+  (ms, words /. float_of_int iters)
+
+let driver_stats name ~iters ~(audit : Network.audit) (ms, words_per_run) =
+  let secs = ms /. 1000.0 in
+  let runs = float_of_int iters in
+  ( name,
+    Json.Obj
+      [
+        ("ms_total", Json.Float ms);
+        ("rounds_per_sec", Json.Float (float_of_int audit.Network.rounds *. runs /. secs));
+        ("messages_per_sec", Json.Float (float_of_int audit.Network.total_messages *. runs /. secs));
+        ("minor_words_per_run", Json.Float words_per_run);
+      ],
+    ms )
+
+let bench_drivers ~iters (wname, g) =
+  let prog = Primitives.bfs_program g ~root:0 in
+  let flat () = snd (Network.run ~words:(fun _ -> 1) g prog) in
+  let reference () = snd (Reference.run ~words:(fun _ -> 1) g prog) in
+  let a_flat = flat () and a_ref = reference () in
+  (match Replay.diff_audits a_flat a_ref with
+  | [] -> ()
+  | diffs ->
+      failwith
+        (Printf.sprintf "sim: driver audits diverge on %s: %s" wname
+           (String.concat "; " diffs)));
+  let name, obj, flat_ms = driver_stats "flat" ~iters ~audit:a_flat (measure ~iters flat) in
+  let rname, robj, ref_ms =
+    driver_stats "reference" ~iters ~audit:a_ref (measure ~iters reference)
+  in
+  let speedup = ref_ms /. flat_ms in
+  Printf.printf
+    "  %-7s n=%-3d m=%-3d rounds=%-3d msgs=%-4d  flat %.1f ms, reference %.1f ms  => %.2fx\n%!"
+    wname (Graph.n g) (Graph.m g) a_flat.Network.rounds a_flat.Network.total_messages
+    flat_ms ref_ms speedup;
+  ( wname,
+    speedup,
+    Json.Obj
+      [
+        ("workload", Json.String wname);
+        ("n", Json.Int (Graph.n g));
+        ("m", Json.Int (Graph.m g));
+        ("rounds", Json.Int a_flat.Network.rounds);
+        ("messages", Json.Int a_flat.Network.total_messages);
+        ("iterations", Json.Int iters);
+        (name, obj);
+        (rname, robj);
+        ("speedup_flat_over_reference", Json.Float speedup);
+        ("audits_equal", Json.Bool true);
+      ] )
+
+let bench_parallel ~solves g =
+  let solve workers () =
+    Array.init solves (fun i ->
+        Api.min_cut ~params:Params.fast ~algorithm:Api.Exact_small_lambda
+          ~seed:i ~workers g)
+  in
+  let seq = solve 1 () in
+  let t0 = Unix.gettimeofday () in
+  let seq2 = solve 1 () in
+  let seq_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let t0 = Unix.gettimeofday () in
+  let par = solve 4 () in
+  let par_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let identical =
+    Array.for_all2 Workloads.identical seq par
+    && Array.for_all2 Workloads.identical seq seq2
+  in
+  if not identical then
+    failwith "sim: parallel exact pipeline diverged from sequential";
+  let speedup = seq_ms /. par_ms in
+  Printf.printf
+    "  parallel exact: %d solves, workers 1: %.1f ms, workers 4: %.1f ms \
+     => %.2fx, bit-identical=%b\n%!"
+    solves seq_ms par_ms speedup identical;
+  Json.Obj
+    [
+      ("solves", Json.Int solves);
+      ("workers_parallel", Json.Int 4);
+      ("seq_ms", Json.Float seq_ms);
+      ("par_ms", Json.Float par_ms);
+      ("speedup_par_over_seq", Json.Float speedup);
+      ("bit_identical", Json.Bool identical);
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+    ]
+
+let run () =
+  let iters = if !quick then 500 else 20_000 in
+  let solves = if !quick then 4 else 16 in
+  Printf.printf "sim: engine drivers (%d iterations each)\n%!" iters;
+  let rows = List.map (bench_drivers ~iters) (workloads ()) in
+  let gnp_speedup =
+    List.fold_left (fun acc (w, s, _) -> if w = "gnp24" then s else acc) 0.0 rows
+  in
+  let parallel = bench_parallel ~solves (Generators.gnp_connected ~rng:(Rng.create 12) 24 0.3) in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "sim");
+        ("quick", Json.Bool !quick);
+        ("drivers", Json.List (List.map (fun (_, _, j) -> j) rows));
+        ("gnp24_speedup_flat_over_reference", Json.Float gnp_speedup);
+        ("parallel_exact", parallel);
+      ]
+  in
+  let path = "BENCH_sim.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (gnp24 flat-vs-reference speedup: %.2fx)\n%!" path gnp_speedup

@@ -117,13 +117,20 @@ let serve_throughput () =
         && identical a.Serve_request.summary b.Serve_request.summary)
       cold warm
   in
-  (* batched cold pass on the worker pool: a fresh service, everything
-     submitted up front, one flush *)
-  let pooled = Serve.create () in
+  (* batched cold pass on the worker pool: a fresh service with an
+     explicit multi-domain pool, everything submitted up front, one
+     flush — answers must match the sequential cold pass bit for bit *)
+  let pooled = Serve.create ~config:{ Serve.default_config with Serve.workers = 4 } () in
   let batch, batch_ms =
     time_pass (fun () ->
         List.iter (fun r -> ignore (Serve.submit pooled r)) zoo;
         Serve.flush pooled)
+  in
+  let batch_identical =
+    List.for_all2
+      (fun (a : Serve_request.response) (_, (b : Serve_request.response)) ->
+        identical a.Serve_request.summary b.Serve_request.summary)
+      cold batch
   in
   let speedup = cold_ms /. warm_ms in
   let snap = Serve.snapshot service in
@@ -141,6 +148,7 @@ let serve_throughput () =
         ("batch_cold_ms_total", Serve_json.Float batch_ms);
         ("batch_answers", Serve_json.Int (List.length batch));
         ("pool_workers", Serve_json.Int (Serve.config pooled).Serve.workers);
+        ("batch_bit_identical", Serve_json.Bool batch_identical);
         ("cache_hits", Serve_json.Int (Serve.cache_hits service));
         ("cache_misses", Serve_json.Int (Serve.cache_misses service));
         ("warm_bit_identical", Serve_json.Bool all_identical);
@@ -159,5 +167,6 @@ let serve_throughput () =
     (cold_ms /. float_of_int queries)
     warm_ms
     (warm_ms /. float_of_int queries)
-    speedup (Serve.config pooled).Serve.workers batch_ms all_identical;
+    speedup (Serve.config pooled).Serve.workers batch_ms
+    (all_identical && batch_identical);
   Printf.printf "wrote %s\n" path

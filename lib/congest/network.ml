@@ -71,21 +71,51 @@ type audit = {
   messages_per_round : int array;
 }
 
-type 'msg mailbox = (int * 'msg) list array
-
-let neighbor_sets g =
-  Array.init (Graph.n g) (fun v ->
-      let tbl = Hashtbl.create (Graph.degree g v) in
-      Array.iter (fun (u, _) -> Hashtbl.replace tbl u ()) (Graph.adj g v);
-      tbl)
-
 (* Shared driver.  [stop] decides termination given (round, all_halted,
-   traffic_pending). *)
+   traffic_pending).
+
+   Hot-path layout: every per-round structure is a flat array allocated
+   once per [drive] and indexed by the graph's CSR slots, so a round
+   allocates nothing beyond the message payloads themselves.
+
+   - Mailboxes are double-buffered list arrays.  Senders are stepped in
+     descending node order, so consing onto the destination's next-round
+     buffer yields an inbox already in ascending sender order — the
+     per-node sort of the seed driver disappears.  (Step calls within a
+     round are independent, so the processing order is unobservable
+     except through delivery order, which this preserves.)
+   - The duplicate-send registry and per-directed-edge word counters are
+     arrays indexed by CSR slot; storing the round number of the last
+     send makes entries self-invalidating, so there is no per-round
+     reset at all ("dirty list" of size zero).
+   - Neighbor membership and directed-slot lookup are answered by
+     stamping the sender's CSR row into two scratch arrays (token-
+     versioned, so stamps too need no reset): O(deg) per *sending* node
+     per round, then O(1) per message. *)
 let drive ?(cfg = Config.default) ~words ~stop g prog =
   let n = Graph.n g in
-  let neighbors = neighbor_sets g in
+  let off = Graph.csr_offsets g in
+  let nbr = Graph.csr_neighbors g in
+  let slots = Array.length nbr in
   let states = Array.init n prog.initial in
-  let inboxes : _ mailbox = Array.make n [] in
+  let cur : (int * _) list array = Array.make n [] in
+  let next : (int * _) list array = Array.make n [] in
+  (* round of the last message on each directed slot (-1 = never): the
+     duplicate-send registry *)
+  let sent_round = Array.make slots (-1) in
+  (* messages carried by each directed slot over the whole run *)
+  let slot_load = Array.make slots 0 in
+  (* sender stamps: stamp.(u) = token marks slot_of.(u) as the current
+     sender's first CSR slot towards u *)
+  let stamp = Array.make n 0 in
+  let slot_of = Array.make n 0 in
+  let token = ref 0 in
+  (* halted is a pure function of the node state, and halted nodes never
+     step, so the flag set is monotone: track it incrementally instead
+     of rescanning all states every round *)
+  let halted = Array.init n (fun v -> prog.halted states.(v)) in
+  let live = ref 0 in
+  Array.iter (fun h -> if not h then incr live) halted;
   let pending = ref false in
   let total_messages = ref 0 in
   let total_words = ref 0 in
@@ -94,67 +124,81 @@ let drive ?(cfg = Config.default) ~words ~stop g prog =
   let max_edge_words = ref 0 in
   let last_traffic_round = ref (-1) in
   let round = ref 0 in
-  let all_halted () =
-    let rec go v = v >= n || (prog.halted states.(v) && go (v + 1)) in
-    go 0
-  in
-  while not (stop ~round:!round ~all_halted:(all_halted () && not !pending)) do
+  while not (stop ~round:!round ~all_halted:(!live = 0 && not !pending)) do
     if !round >= cfg.Config.max_rounds then
       violate Watchdog ~round:!round ~budget:cfg.Config.max_rounds;
-    let next : _ mailbox = Array.make n [] in
-    (* words in flight per directed edge this round; doubles as the
-       duplicate-send registry *)
-    let edge_words : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let r = !round in
     let sent_count = ref 0 in
     pending := false;
-    for v = 0 to n - 1 do
-      if not (prog.halted states.(v)) then begin
-        let inbox = List.sort (fun (a, _) (b, _) -> Int.compare a b) inboxes.(v) in
-        let state', outs = prog.step ~node:v ~round:!round ~inbox states.(v) in
+    for v = n - 1 downto 0 do
+      if not halted.(v) then begin
+        let inbox = cur.(v) in
+        let state', outs = prog.step ~node:v ~round:r ~inbox states.(v) in
         states.(v) <- state';
-        List.iter
-          (fun (dst, payload) ->
-            if not (Hashtbl.mem neighbors.(v) dst) then
-              violate Non_neighbor_send ~round:!round ~sender:v ~receiver:dst;
-            if Hashtbl.mem edge_words (v, dst) then
-              violate Duplicate_send ~round:!round ~sender:v ~receiver:dst;
-            let w = words payload in
-            if w > cfg.Config.words_per_message then
-              violate Oversized_message ~round:!round ~sender:v ~receiver:dst
-                ~words:w ~budget:cfg.Config.words_per_message;
-            let load =
-              w + (match Hashtbl.find_opt edge_words (v, dst) with
-                  | Some prior -> prior
-                  | None -> 0)
-            in
-            Hashtbl.replace edge_words (v, dst) load;
-            (match cfg.Config.strict_edge_words with
-            | Some cap when load > cap ->
-                violate Edge_overload ~round:!round ~sender:v ~receiver:dst
-                  ~words:load ~budget:cap
-            | _ -> ());
-            incr total_messages;
-            incr sent_count;
-            total_words := !total_words + w;
-            max_words := max !max_words w;
-            max_edge_words := max !max_edge_words load;
-            last_traffic_round := !round;
-            next.(dst) <- (v, payload) :: next.(dst);
-            pending := true)
-          outs
+        if prog.halted state' then begin
+          halted.(v) <- true;
+          decr live
+        end;
+        match outs with
+        | [] -> ()
+        | outs ->
+            incr token;
+            let t = !token in
+            for s = off.(v) to off.(v + 1) - 1 do
+              let u = nbr.(s) in
+              if stamp.(u) <> t then begin
+                stamp.(u) <- t;
+                slot_of.(u) <- s
+              end
+            done;
+            List.iter
+              (fun (dst, payload) ->
+                if dst < 0 || dst >= n || stamp.(dst) <> t then
+                  violate Non_neighbor_send ~round:r ~sender:v ~receiver:dst;
+                let s = slot_of.(dst) in
+                if sent_round.(s) = r then
+                  violate Duplicate_send ~round:r ~sender:v ~receiver:dst;
+                let w = words payload in
+                if w > cfg.Config.words_per_message then
+                  violate Oversized_message ~round:r ~sender:v ~receiver:dst
+                    ~words:w ~budget:cfg.Config.words_per_message;
+                (* one message per channel per round (the duplicate check
+                   above), so the per-round aggregate load on a directed
+                   edge is exactly this payload *)
+                (match cfg.Config.strict_edge_words with
+                | Some cap when w > cap ->
+                    violate Edge_overload ~round:r ~sender:v ~receiver:dst
+                      ~words:w ~budget:cap
+                | _ -> ());
+                sent_round.(s) <- r;
+                slot_load.(s) <- slot_load.(s) + 1;
+                incr total_messages;
+                incr sent_count;
+                total_words := !total_words + w;
+                if w > !max_words then max_words := w;
+                if w > !max_edge_words then max_edge_words := w;
+                last_traffic_round := r;
+                next.(dst) <- (v, payload) :: next.(dst);
+                pending := true)
+              outs
       end
     done;
-    Array.blit next 0 inboxes 0 n;
+    (* swap buffers: next already holds ascending-sender inboxes *)
+    for v = 0 to n - 1 do
+      cur.(v) <- next.(v);
+      next.(v) <- []
+    done;
     per_round := !sent_count :: !per_round;
     incr round
   done;
+  let max_edge_load = Array.fold_left max 0 slot_load in
   let audit =
     {
       rounds = !round;
       total_messages = !total_messages;
       total_words = !total_words;
       max_words = !max_words;
-      max_edge_load = (if !total_messages > 0 then 1 else 0);
+      max_edge_load;
       max_edge_words = !max_edge_words;
       messages_per_round = Array.of_list (List.rev !per_round);
     }

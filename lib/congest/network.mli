@@ -66,9 +66,13 @@ type audit = {
   total_messages : int;
   total_words : int;
   max_words : int;          (** largest single payload observed *)
-  max_edge_load : int;      (** max messages crossing one edge in one
-                                round, per direction; always <= 1 by
-                                construction — reported for the audit *)
+  max_edge_load : int;      (** max messages carried by a single
+                                directed edge over the whole run — the
+                                per-channel congestion the pipelined
+                                primitives are designed to bound (within
+                                one round it is always <= 1, since a
+                                second send on a channel raises
+                                {!Duplicate_send}) *)
   max_edge_words : int;     (** max aggregate words crossing one directed
                                 edge in one round — the quantity the
                                 strict mode ({!Config.strict}) caps *)

@@ -21,30 +21,31 @@ let min_edge_between g u v =
 
 type bfs_state = { dist : int; parent : int; done_ : bool }
 
+let bfs_program g ~root : (bfs_state, int) Network.program =
+  {
+    initial = (fun v -> { dist = (if v = root then 0 else -1); parent = -1; done_ = v = -1 });
+    step =
+      (fun ~node ~round ~inbox st ->
+        if st.dist = 0 && round = 0 then
+          (* the root announces itself and is done *)
+          ( { st with done_ = true },
+            List.map (fun u -> (u, 0)) (distinct_neighbors g node) )
+        else if st.dist = -1 then
+          match inbox with
+          | [] -> (st, [])
+          | (p, d) :: _ ->
+              (* all offers this round carry the same distance; adopt
+                 the smallest sender id and flood onward immediately *)
+              ( { dist = d + 1; parent = p; done_ = true },
+                List.map (fun u -> (u, d + 1)) (distinct_neighbors g node) )
+        else (st, []))
+      ;
+    halted = (fun st -> st.done_);
+  }
+
 let bfs_tree_audited ?cfg g ~root =
   let n = Graph.n g in
-  let prog : (bfs_state, int) Network.program =
-    {
-      initial = (fun v -> { dist = (if v = root then 0 else -1); parent = -1; done_ = v = -1 });
-      step =
-        (fun ~node ~round ~inbox st ->
-          if st.dist = 0 && round = 0 then
-            (* the root announces itself and is done *)
-            ( { st with done_ = true },
-              List.map (fun u -> (u, 0)) (distinct_neighbors g node) )
-          else if st.dist = -1 then
-            match inbox with
-            | [] -> (st, [])
-            | (p, d) :: _ ->
-                (* all offers this round carry the same distance; adopt
-                   the smallest sender id and flood onward immediately *)
-                ( { dist = d + 1; parent = p; done_ = true },
-                  List.map (fun u -> (u, d + 1)) (distinct_neighbors g node) )
-          else (st, []))
-        ;
-      halted = (fun st -> st.done_);
-    }
-  in
+  let prog = bfs_program g ~root in
   let states, audit = Network.run ?cfg ~words:(fun _ -> 1) g prog in
   let parent = Array.map (fun st -> st.parent) states in
   let parent_edge =

@@ -62,6 +62,14 @@ val flood_echo : ?cfg:Config.t -> Graph.t -> root:int -> Tree.t * Cost.t
 val bfs_tree_audited :
   ?cfg:Config.t -> Graph.t -> root:int -> Tree.t * Cost.t * Network.audit
 
+type bfs_state = { dist : int; parent : int; done_ : bool }
+
+val bfs_program : Graph.t -> root:int -> (bfs_state, int) Network.program
+(** The raw per-node flooding program behind {!bfs_tree} (payloads are
+    one word each).  Exposed so harnesses can drive the {e same}
+    workload through alternative engines — e.g. the benchmark compares
+    {!Network.run} against {!Network_reference.run} on it. *)
+
 val convergecast_sum_audited :
   ?cfg:Config.t -> Graph.t -> tree:Tree.t -> values:int array -> int * Cost.t * Network.audit
 

@@ -29,17 +29,25 @@ let of_cost algorithm value side (cost : Cost.t) =
   { algorithm; value; side; rounds = cost.Cost.rounds; breakdown = cost.Cost.breakdown }
 
 let min_cut ?(params = Params.default) ?(algorithm = Exact_small_lambda) ?(seed = 0)
-    ?trees g =
+    ?trees ?(workers = 1) g =
+  if workers < 1 then invalid_arg "Api.min_cut: workers must be >= 1";
   let rng = Rng.create seed in
+  (* the pool only changes who computes what, never the answer: every
+     consumer merges in index order, so workers stays out of any cache
+     key a caller might build from the inputs *)
+  let pool =
+    if workers = 1 then Mincut_parallel.Pool.sequential
+    else Mincut_parallel.Pool.create ~workers ()
+  in
   match algorithm with
   | Exact_small_lambda ->
-      let r = Exact.run ~params ?trees g in
+      let r = Exact.run ~params ~pool ?trees g in
       of_cost algorithm r.Exact.value r.Exact.side r.Exact.cost
   | Exact_two_respect ->
-      let r = Two_respect.min_cut ~params ?trees g in
+      let r = Two_respect.min_cut ~params ~pool ?trees g in
       of_cost algorithm r.Two_respect.value r.Two_respect.side r.Two_respect.cost
   | Approx epsilon ->
-      let r = Approx.run ~params ?trees ~rng ~epsilon g in
+      let r = Approx.run ~params ~pool ?trees ~rng ~epsilon g in
       of_cost algorithm r.Approx.value r.Approx.side r.Approx.cost
   | Ghaffari_kuhn epsilon ->
       let r = Ghaffari_kuhn.run ~params ~epsilon g in

@@ -31,11 +31,19 @@ val min_cut :
   ?algorithm:algorithm ->
   ?seed:int ->
   ?trees:int ->
+  ?workers:int ->
   Mincut_graph.Graph.t ->
   summary
 (** Run the chosen algorithm (default [Exact_small_lambda]) on a graph
     with n ≥ 2.  [seed] (default 0) drives the randomized algorithms;
-    [trees] overrides the packing budget. *)
+    [trees] overrides the packing budget.
+
+    [workers] (default 1) fans independent per-tree solves over that
+    many domains for the [Exact_small_lambda], [Exact_two_respect] and
+    [Approx] pipelines.  Results are merged in deterministic index
+    order, so the summary is bit-identical for every worker count —
+    [workers] is a throughput knob only and must never enter a cache
+    key derived from the inputs. *)
 
 val one_respecting_cut :
   ?params:Params.t -> Mincut_graph.Graph.t -> Mincut_graph.Tree.t -> One_respect.result

@@ -4,6 +4,7 @@ module Bfs = Mincut_graph.Bfs
 module Bitset = Mincut_util.Bitset
 module Tree_packing = Mincut_treepack.Tree_packing
 module Cost = Mincut_congest.Cost
+module Pool = Mincut_parallel.Pool
 
 type result = {
   value : int;
@@ -21,7 +22,7 @@ let min_weighted_degree g =
   done;
   !best
 
-let run ?(params = Params.default) ?trees g =
+let run ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Exact.run: need n >= 2";
   if not (Bfs.is_connected g) then
@@ -86,17 +87,27 @@ let run ?(params = Params.default) ?trees g =
         Tree_packing.distributed_cost ~n ~diameter ~trees
           ~per_tree_rounds:(Params.kp_mst_rounds params ~n ~diameter)
     in
+    (* the per-tree 1-respecting DP instances are independent (the graph
+       is immutable, each job builds its own tree and per-run state), so
+       they fan out over the pool; the merge below walks results in tree
+       index order, so cost accumulation and the <=-tie-break are
+       bit-identical to the sequential loop *)
+    let per_tree =
+      Pool.map pool
+        (fun ids ->
+          let tree = Tree.of_edge_ids g ~root:0 ids in
+          One_respect.run ~params g tree)
+        packing.Tree_packing.trees
+    in
     let best = ref None in
     let cost = ref (Cost.( ++ ) c_leader c_pack) in
     Array.iteri
-      (fun i ids ->
-        let tree = Tree.of_edge_ids g ~root:0 ids in
-        let r = One_respect.run ~params g tree in
+      (fun i r ->
         cost := Cost.( ++ ) !cost r.One_respect.cost;
         match !best with
         | Some (v, _, _, _) when v <= r.One_respect.best_value -> ()
         | _ -> best := Some (r.One_respect.best_value, r.One_respect.best_node, i, r))
-      packing.Tree_packing.trees;
+      per_tree;
     match !best with
     | None -> assert false
     | Some (value, node, tree_idx, r) ->

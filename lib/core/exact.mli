@@ -25,11 +25,21 @@ type result = {
   stats : One_respect.stats;       (** stats of the winning tree's run *)
 }
 
-val run : ?params:Params.t -> ?trees:int -> Mincut_graph.Graph.t -> result
+val run :
+  ?params:Params.t ->
+  ?pool:Mincut_parallel.Pool.t ->
+  ?trees:int ->
+  Mincut_graph.Graph.t ->
+  result
 (** [trees] defaults to
     [Tree_packing.recommended_trees ~lambda_hint:(min weighted degree)].
     Requires n ≥ 2; returns the 0-cut with a component side when the
-    graph is disconnected. *)
+    graph is disconnected.
+
+    [pool] (default sequential) fans the per-tree 1-respecting DP
+    instances over domains; results are merged in tree index order, so
+    the outcome — value, side, winning tree, cost breakdown — is
+    bit-identical for any worker count. *)
 
 val min_weighted_degree : Mincut_graph.Graph.t -> int
 (** The classic [λ ≤ min_v δ(v)] upper bound, used as the packing-budget

@@ -4,6 +4,7 @@ module Bfs = Mincut_graph.Bfs
 module Bitset = Mincut_util.Bitset
 module Tree_packing = Mincut_treepack.Tree_packing
 module Cost = Mincut_congest.Cost
+module Pool = Mincut_parallel.Pool
 
 type kind = One of int | Two of int * int
 
@@ -102,7 +103,7 @@ let run ?(params = Params.default) g tree =
   in
   { value = !best_value; side = side_of_kind tree !best_kind; kind = !best_kind; cost }
 
-let min_cut ?(params = Params.default) ?trees g =
+let min_cut ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Two_respect.min_cut: need n >= 2";
   if not (Bfs.is_connected g) then
@@ -129,17 +130,24 @@ let min_cut ?(params = Params.default) ?trees g =
       Tree_packing.distributed_cost ~n ~diameter ~trees
         ~per_tree_rounds:(Params.kp_mst_rounds params ~n ~diameter)
     in
+    (* independent per-tree 2-respect sweeps fan out over the pool; the
+       index-ordered merge reproduces the sequential tie-break exactly *)
+    let per_tree =
+      Pool.map pool
+        (fun ids ->
+          let tree = Tree.of_edge_ids g ~root:0 ids in
+          run ~params g tree)
+        packing.Tree_packing.trees
+    in
     let best = ref None in
     let cost = ref c_pack in
     Array.iter
-      (fun ids ->
-        let tree = Tree.of_edge_ids g ~root:0 ids in
-        let r = run ~params g tree in
+      (fun r ->
         cost := Cost.( ++ ) !cost r.cost;
         match !best with
         | Some b when b.value <= r.value -> ()
         | _ -> best := Some r)
-      packing.Tree_packing.trees;
+      per_tree;
     match !best with
     | None -> assert false
     | Some b -> { b with cost = !cost }

@@ -36,7 +36,14 @@ type result = {
 val run : ?params:Params.t -> Mincut_graph.Graph.t -> Mincut_graph.Tree.t -> result
 (** Minimum over all cuts 1- or 2-respecting the tree.  Requires n ≥ 2. *)
 
-val min_cut : ?params:Params.t -> ?trees:int -> Mincut_graph.Graph.t -> result
+val min_cut :
+  ?params:Params.t ->
+  ?pool:Mincut_parallel.Pool.t ->
+  ?trees:int ->
+  Mincut_graph.Graph.t ->
+  result
 (** Exact min cut via packing + 2-respect; [trees] defaults to
     [max 8 (2·⌈log₂ n⌉)] — the Karger-style budget, much smaller than
-    the 1-respect default. *)
+    the 1-respect default.  [pool] (default sequential) fans the
+    per-tree sweeps over domains with an index-ordered merge, so the
+    result is bit-identical for any worker count. *)

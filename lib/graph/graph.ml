@@ -5,6 +5,15 @@ type t = {
   edges : edge array;
   adj : (int * int) array array;
   wdeg : int array;  (* cached weighted degrees *)
+  (* CSR-style flat adjacency index: node [v]'s directed slots are
+     [csr_off.(v) .. csr_off.(v+1) - 1]; slot [s] is the directed edge
+     [v -> csr_nbr.(s)] realized by undirected edge [csr_eid.(s)].
+     Slots are sorted by (neighbor, edge id) within each node, so the
+     first slot of a channel is its minimum-id parallel edge.  The
+     simulator indexes per-directed-edge counters by slot. *)
+  csr_off : int array;
+  csr_nbr : int array;
+  csr_eid : int array;
 }
 
 let validate ~n (u, v, w) =
@@ -13,13 +22,10 @@ let validate ~n (u, v, w) =
   if u = v then invalid_arg "Graph.create: self loop";
   if w <= 0 then invalid_arg "Graph.create: non-positive weight"
 
-let of_array ~n triples =
-  Array.iter (validate ~n) triples;
-  let edges =
-    Array.mapi
-      (fun id (u, v, w) -> if u < v then { id; u; v; w } else { id; u = v; v = u; w })
-      triples
-  in
+(* Core constructor over already-normalized edge records (u < v, ids
+   [0 .. len-1]): every derived structure is built with flat array
+   passes, no intermediate lists. *)
+let build ~n edges =
   let deg = Array.make n 0 in
   Array.iter
     (fun e ->
@@ -41,7 +47,37 @@ let of_array ~n triples =
       wdeg.(e.u) <- wdeg.(e.u) + e.w;
       wdeg.(e.v) <- wdeg.(e.v) + e.w)
     edges;
-  { n; edges; adj; wdeg }
+  let csr_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    csr_off.(v + 1) <- csr_off.(v) + deg.(v)
+  done;
+  let slots = csr_off.(n) in
+  let csr_nbr = Array.make slots 0 in
+  let csr_eid = Array.make slots 0 in
+  for v = 0 to n - 1 do
+    (* adjacency pairs are (neighbor, edge id); sorting them as pairs of
+       ints orders slots by neighbor with parallel edges by ascending id *)
+    let row = Array.copy adj.(v) in
+    Array.sort
+      (fun (a, ai) (b, bi) ->
+        match Int.compare a b with 0 -> Int.compare ai bi | c -> c)
+      row;
+    Array.iteri
+      (fun i (u, id) ->
+        csr_nbr.(csr_off.(v) + i) <- u;
+        csr_eid.(csr_off.(v) + i) <- id)
+      row
+  done;
+  { n; edges; adj; wdeg; csr_off; csr_nbr; csr_eid }
+
+let of_array ~n triples =
+  Array.iter (validate ~n) triples;
+  let edges =
+    Array.mapi
+      (fun id (u, v, w) -> if u < v then { id; u; v; w } else { id; u = v; v = u; w })
+      triples
+  in
+  build ~n edges
 
 let create ~n triples = of_array ~n (Array.of_list triples)
 
@@ -73,31 +109,59 @@ let degree g v = Array.length g.adj.(v)
 
 let weighted_degree g v = g.wdeg.(v)
 
+let csr_offsets g = g.csr_off
+
+let csr_neighbors g = g.csr_nbr
+
+let csr_edge_ids g = g.csr_eid
+
+let csr_slot g u v =
+  if u < 0 || u >= g.n then invalid_arg "Graph.csr_slot: bad node";
+  let lo = ref g.csr_off.(u) and hi = ref (g.csr_off.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.csr_nbr.(mid) in
+    if x < v then lo := mid + 1
+    else if x > v then hi := mid - 1
+    else begin
+      (* remember the match and keep searching left for the first slot *)
+      found := mid;
+      hi := mid - 1
+    end
+  done;
+  !found
+
 let total_weight g = Array.fold_left (fun acc e -> acc + e.w) 0 g.edges
 
 let iter_edges f g = Array.iter f g.edges
 
 let fold_edges f init g = Array.fold_left f init g.edges
 
-let sub_by_edges g ~keep =
-  let triples =
-    Array.of_list
-      (List.filter_map
-         (fun e -> if keep e then Some (e.u, e.v, e.w) else None)
-         (Array.to_list g.edges))
-  in
-  of_array ~n:g.n triples
+(* Filtered/reweighted copies renumber ids with flat array passes — no
+   list round-trip, no re-validation (the source edges are already
+   normalized).  [f] runs exactly once per edge, in id order: callers
+   thread RNG draws through it (skeleton sampling), so evaluation count
+   and order are part of the contract. *)
+let filter_map_edges g ~f =
+  let weights = Array.map f g.edges in
+  let count = ref 0 in
+  Array.iter (fun w -> if w > 0 then incr count) weights;
+  let out = Array.make !count { id = 0; u = 0; v = 0; w = 0 } in
+  let i = ref 0 in
+  Array.iteri
+    (fun id w ->
+      if w > 0 then begin
+        let e = g.edges.(id) in
+        out.(!i) <- { id = !i; u = e.u; v = e.v; w };
+        incr i
+      end)
+    weights;
+  build ~n:g.n out
 
-let reweight g ~f =
-  let triples =
-    Array.of_list
-      (List.filter_map
-         (fun e ->
-           let w = f e in
-           if w > 0 then Some (e.u, e.v, w) else None)
-         (Array.to_list g.edges))
-  in
-  of_array ~n:g.n triples
+let sub_by_edges g ~keep = filter_map_edges g ~f:(fun e -> if keep e then e.w else 0)
+
+let reweight g ~f = filter_map_edges g ~f
 
 let cut_value g ~in_cut =
   Array.fold_left
@@ -111,11 +175,15 @@ let compare_triple (a1, a2, a3) (b1, b2, b3) =
   | 0 -> ( match Int.compare a2 b2 with 0 -> Int.compare a3 b3 | c -> c)
   | c -> c
 
+let equal_triple (a1, a2, a3) (b1, b2, b3) =
+  Int.equal a1 b1 && Int.equal a2 b2 && Int.equal a3 b3
+
 let canon_edges g =
   let l = Array.to_list (Array.map (fun e -> (e.u, e.v, e.w)) g.edges) in
   List.sort compare_triple l
 
-let equal_structure a b = a.n = b.n && canon_edges a = canon_edges b
+let equal_structure a b =
+  a.n = b.n && List.equal equal_triple (canon_edges a) (canon_edges b)
 
 let pp fmt g =
   Format.fprintf fmt "graph(n=%d, m=%d)" g.n (m g);

@@ -58,6 +58,32 @@ val weighted_degree : t -> int -> int
 (** [δ(v)]: sum of weights of incident edges — the quantity in Karger's
     lemma. *)
 
+(** {2 Flat CSR adjacency index}
+
+    A compressed-sparse-row view of the adjacency built once at
+    construction: node [v]'s directed slots are
+    [csr_offsets g .(v) .. csr_offsets g .(v+1) - 1]; slot [s] is the
+    directed edge [v -> csr_neighbors g .(s)] carried by undirected edge
+    [csr_edge_ids g .(s)].  Slots are sorted by (neighbor, edge id)
+    within each node.  The CONGEST simulator indexes its
+    per-directed-edge counters by slot, so its hot loop touches only
+    these flat arrays. *)
+
+val csr_offsets : t -> int array
+(** Length [n + 1]; do not mutate. *)
+
+val csr_neighbors : t -> int array
+(** Length [2m] (one slot per edge direction); do not mutate. *)
+
+val csr_edge_ids : t -> int array
+(** Length [2m]; [csr_edge_ids g .(s)] is the undirected edge realizing
+    slot [s].  Do not mutate. *)
+
+val csr_slot : t -> int -> int -> int
+(** [csr_slot g u v] is the first slot of the directed channel [u -> v]
+    (the minimum-id parallel edge), or [-1] when [v] is not adjacent to
+    [u].  Binary search over [u]'s sorted slot range, O(log deg). *)
+
 val total_weight : t -> int
 (** Sum of all edge weights. *)
 
@@ -71,7 +97,8 @@ val sub_by_edges : t -> keep:(edge -> bool) -> t
 
 val reweight : t -> f:(edge -> int) -> t
 (** Same topology with new weights [f e] (edges with [f e <= 0] are
-    dropped). *)
+    dropped).  [f] is evaluated exactly once per edge, in edge-id order
+    — callers thread RNG draws through it. *)
 
 val cut_value : t -> in_cut:(int -> bool) -> int
 (** [cut_value g ~in_cut] is [C(X)] for [X = { v | in_cut v }]: the total

@@ -1,0 +1,43 @@
+(** Shared deterministic parallel runtime: data-parallel map over OCaml 5
+    domains.
+
+    [map] fans an array of independent jobs over [workers] domains and
+    returns results in input order — the only scheduling-dependent value
+    anywhere is {e which domain} computes each slot, never {e what} goes
+    into it.  Combined with the repo-wide discipline that jobs share no
+    mutable state (each worker gets its own graph copy / RNG derived
+    from explicit seeds), every consumer of the pool is bit-identical to
+    its sequential run: the exact and approx pipelines assert this
+    property under qcheck, and the serving cache relies on it.
+
+    With [workers = 1] (or single-element inputs) no domain is spawned
+    and the map degrades to a plain sequential loop — the fallback for
+    runtimes or deployments where spawning domains is undesirable.
+    Domains are spawned per [map] call and joined before it returns; at
+    the granularity of this repo's jobs (whole CONGEST simulations)
+    spawn cost is noise. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Default worker count: [Domain.recommended_domain_count], capped at 8
+    (the simulator is memory-bandwidth-hungry; more domains than memory
+    channels buys nothing).  Values < 1 are clamped to 1. *)
+
+val sequential : t
+(** A pool with one worker: [map sequential] is [Array.map]. *)
+
+val workers : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f jobs] applies [f] to every job.  If any application raises,
+    the remaining jobs still run, every domain is joined, and the first
+    (lowest-index) exception is re-raised in the calling domain. *)
+
+val map_reduce :
+  t -> f:('a -> 'b) -> init:'acc -> merge:('acc -> 'b -> 'acc) -> 'a array -> 'acc
+(** [map_reduce t ~f ~init ~merge jobs] maps in parallel, then folds the
+    results sequentially {e in input index order} in the calling domain
+    — the canonical deterministic-merge shape used by the per-tree DP
+    fan-out (costs accumulate and ties break exactly as the sequential
+    loop did). *)

@@ -1,40 +1,4 @@
-type t = { workers : int }
-
-let create ?workers () =
-  let default = min 8 (Domain.recommended_domain_count ()) in
-  let w = match workers with Some w -> w | None -> default in
-  { workers = max 1 w }
-
-let workers t = t.workers
-
-let map t f jobs =
-  let n = Array.length jobs in
-  if n = 0 then [||]
-  else if t.workers = 1 || n = 1 then Array.map f jobs
-  else begin
-    let results : ('b, exn) result option array = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <-
-             (match f jobs.(i) with
-             | v -> Some (Ok v)
-             | exception e -> Some (Error e)));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = min (t.workers - 1) (n - 1) in
-    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false (* every index was claimed exactly once *))
-      results
-  end
+(* The worker pool was promoted to the shared parallel runtime so the
+   core pipelines can fan out too; this alias keeps the historical
+   [Mincut_serve.Pool] path (and its type equalities) working. *)
+include Mincut_parallel.Pool

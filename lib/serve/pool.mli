@@ -1,29 +1,11 @@
-(** Worker pool: data-parallel map over OCaml 5 domains.
+(** Re-export of the shared parallel runtime's pool.
 
-    [map] fans an array of independent jobs over [workers] domains and
-    returns results in input order.  Jobs must be self-contained — the
-    service hands each worker its own graph copy and derives RNG state
-    from the per-request seed, so nothing mutable is shared; the pool
-    itself shares only an atomic next-job counter and the (disjointly
-    indexed) result slots.
+    The implementation lives in {!Mincut_parallel.Pool} (promoted out of
+    the serving layer so the exact/approx pipelines can fan their
+    per-tree DP instances and per-skeleton trials over the same
+    domains).  This alias preserves the historical [Mincut_serve.Pool]
+    path; [Mincut_serve.Pool.t] {e is} [Mincut_parallel.Pool.t]. *)
 
-    With [workers = 1] (or single-element inputs) no domain is spawned
-    and the map degrades to a plain sequential loop — the fallback for
-    runtimes or deployments where spawning domains is undesirable.
-    Domains are spawned per [map] call and joined before it returns;
-    at service batch granularity (many CONGEST simulations per call)
-    spawn cost is noise. *)
-
-type t
-
-val create : ?workers:int -> unit -> t
-(** Default worker count: [Domain.recommended_domain_count], capped at 8
-    (the simulator is memory-bandwidth-hungry; more domains than memory
-    channels buys nothing).  Values < 1 are clamped to 1. *)
-
-val workers : t -> int
-
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** [map t f jobs] applies [f] to every job.  If any application raises,
-    the remaining jobs still run, every domain is joined, and the first
-    (lowest-index) exception is re-raised in the calling domain. *)
+include module type of struct
+  include Mincut_parallel.Pool
+end

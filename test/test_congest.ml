@@ -314,6 +314,70 @@ let test_bits_per_word () =
   check_bool "log-ish" true (Config.bits_per_word ~n:1024 >= 10);
   check_bool "monotone" true (Config.bits_per_word ~n:2048 >= Config.bits_per_word ~n:1024)
 
+module Reference = Mincut_congest.Network_reference
+module Replay = Mincut_analysis.Replay
+
+let replay_graphs () =
+  [
+    ("torus4", Generators.torus 4 4);
+    ("grid5", Generators.grid 5 5);
+    ("gnp24", Generators.gnp_connected ~rng:(Mincut_util.Rng.create 12) 24 0.3);
+  ]
+
+let test_max_edge_load_pipelined () =
+  (* pipelined broadcast pushes one item per round down every tree edge:
+     with 7 items each parent->child channel carries exactly 7 messages
+     over the run — the per-channel congestion max_edge_load measures *)
+  let g = Generators.path 4 in
+  let tree, _ = Primitives.bfs_tree g ~root:0 in
+  let items = Array.init 7 (fun i -> 100 + i) in
+  let _, _, audit = Primitives.broadcast_items_audited g ~tree ~items in
+  check_int "7 messages per channel" 7 audit.Network.max_edge_load;
+  check_int "one word per round per channel" 1 audit.Network.max_edge_words
+
+let test_max_edge_load_single_shot () =
+  let g = Generators.ring 5 in
+  let _, audit = Network.run ~words:words1 g (hello_program g) in
+  check_int "hello uses each channel once" 1 audit.Network.max_edge_load
+
+let test_driver_matches_reference () =
+  (* the flat-array driver and the preserved seed driver must agree on
+     states and on the full audit, workload by workload *)
+  List.iter
+    (fun (name, g) ->
+      let prog = Primitives.bfs_program g ~root:0 in
+      let states_a, audit_a = Network.run ~words:words1 g prog in
+      let states_b, audit_b = Reference.run ~words:words1 g prog in
+      check_bool (name ^ ": audits equal") true
+        (Replay.diff_audits audit_a audit_b = []);
+      check_bool (name ^ ": states equal") true (states_a = states_b))
+    (replay_graphs ())
+
+let test_seed_driver_goldens () =
+  (* audits recorded from the pre-rewrite driver on the lint replay
+     workloads; any driver change that shifts these numbers is a
+     semantics change, not an optimisation *)
+  let expect =
+    [
+      ("torus4", 6, 64, [| 4; 16; 24; 16; 4; 0 |]);
+      ("grid5", 10, 80, [| 2; 6; 10; 14; 16; 14; 10; 6; 2; 0 |]);
+      ("gnp24", 4, 178, [| 8; 69; 101; 0 |]);
+    ]
+  in
+  List.iter2
+    (fun (name, g) (name', rounds, msgs, per_round) ->
+      check_bool "tables aligned" true (String.equal name name');
+      let _, _, audit = Primitives.bfs_tree_audited g ~root:0 in
+      check_int (name ^ " rounds") rounds audit.Network.rounds;
+      check_int (name ^ " messages") msgs audit.Network.total_messages;
+      check_int (name ^ " words") msgs audit.Network.total_words;
+      check_int (name ^ " max payload") 1 audit.Network.max_words;
+      check_int (name ^ " max edge load") 1 audit.Network.max_edge_load;
+      check_int (name ^ " max edge words") 1 audit.Network.max_edge_words;
+      check_bool (name ^ " profile") true
+        (audit.Network.messages_per_round = per_round))
+    (replay_graphs ()) expect
+
 let test_audit_word_budget_respected () =
   (* all primitives must fit the default 4-word budget *)
   let g = Generators.gnp_connected ~rng:(Mincut_util.Rng.create 2) 20 0.3 in
@@ -343,6 +407,10 @@ let suite =
     tc "engine: deterministic" test_engine_deterministic;
     tc "engine: congestion profile" test_congestion_profile;
     tc "primitives: audited variants agree" test_audited_variants_agree;
+    tc "audit: max edge load counts pipelined traffic" test_max_edge_load_pipelined;
+    tc "audit: max edge load of one-shot flood" test_max_edge_load_single_shot;
+    tc "engine: flat driver matches reference driver" test_driver_matches_reference;
+    tc "engine: seed-driver audit goldens" test_seed_driver_goldens;
     tc "cost: algebra" test_cost_algebra;
     tc "pipeline: formulas" test_pipeline_formulas;
     tc "config: bits per word" test_bits_per_word;

@@ -17,6 +17,7 @@ let () =
       ("two-respect", Test_two_respect.suite);
       ("small-cuts", Test_small_cuts.suite);
       ("extensions", Test_extensions.suite);
+      ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
       ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,135 @@
+(* The determinism contract of the shared pool: fanning work over
+   domains changes throughput, never answers.  Every pipeline that takes
+   a pool is checked bit-for-bit against its sequential run. *)
+
+open Test_helpers
+module Pool = Mincut_parallel.Pool
+module Bitset = Mincut_util.Bitset
+module Cost = Mincut_congest.Cost
+module Exact = Mincut_core.Exact
+module Approx = Mincut_core.Approx
+module Two_respect = Mincut_core.Two_respect
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+
+let pool4 = Pool.create ~workers:4 ()
+
+let equal_cost (a : Cost.t) (b : Cost.t) =
+  a.Cost.rounds = b.Cost.rounds
+  && List.equal
+       (fun (la, ra) (lb, rb) -> String.equal la lb && ra = rb)
+       a.Cost.breakdown b.Cost.breakdown
+
+let test_pool_map_order () =
+  let jobs = Array.init 100 (fun i -> i) in
+  let seq = Pool.map Pool.sequential (fun i -> i * i) jobs in
+  let par = Pool.map pool4 (fun i -> i * i) jobs in
+  check_bool "results in input order" true (seq = par)
+
+let test_pool_map_reduce_order () =
+  let jobs = Array.init 50 (fun i -> i) in
+  let r =
+    Pool.map_reduce pool4 ~f:(fun i -> i) ~init:[] ~merge:(fun acc x -> x :: acc) jobs
+  in
+  check_bool "merged in index order" true (List.rev r = List.init 50 Fun.id)
+
+let test_pool_first_exception () =
+  let jobs = Array.init 20 (fun i -> i) in
+  match Pool.map pool4 (fun i -> if i mod 7 = 3 then failwith (string_of_int i) else i) jobs with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> check_bool "lowest-index exception wins" true (msg = "3")
+
+let test_api_rejects_bad_workers () =
+  let g = Generators.path 3 in
+  check_bool "workers 0 rejected" true
+    (try
+       ignore (Api.min_cut ~workers:0 g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_approx_rejects_bad_trials () =
+  let g = Generators.path 3 in
+  check_bool "trials 0 rejected" true
+    (try
+       ignore (Approx.run ~trials:0 ~rng:(Rng.create 0) ~epsilon:0.5 g);
+       false
+     with Invalid_argument _ -> true)
+
+let equal_exact (a : Exact.result) (b : Exact.result) =
+  a.Exact.value = b.Exact.value
+  && Bitset.equal a.Exact.side b.Exact.side
+  && a.Exact.best_tree = b.Exact.best_tree
+  && a.Exact.trees_used = b.Exact.trees_used
+  && equal_cost a.Exact.cost b.Exact.cost
+  && a.Exact.stats = b.Exact.stats
+
+let prop_exact_parallel =
+  qtest ~count:25 "exact: workers=4 bit-identical to sequential"
+    (arbitrary_connected ~max_n:12 ())
+    (fun g ->
+      equal_exact
+        (Exact.run ~params:Params.fast g)
+        (Exact.run ~params:Params.fast ~pool:pool4 g))
+
+let equal_approx (a : Approx.result) (b : Approx.result) =
+  a.Approx.value = b.Approx.value
+  && Bitset.equal a.Approx.side b.Approx.side
+  && a.Approx.p = b.Approx.p
+  && a.Approx.skeleton_value = b.Approx.skeleton_value
+  && a.Approx.guesses = b.Approx.guesses
+  && equal_cost a.Approx.cost b.Approx.cost
+
+let prop_approx_parallel =
+  qtest ~count:15 "approx: workers=4 bit-identical (trials 1 and 3)"
+    QCheck2.Gen.(pair (arbitrary_connected ~max_n:10 ()) (int_range 0 1_000_000))
+    (fun (g, seed) ->
+      let run ~pool ~trials =
+        Approx.run ~params:Params.fast ~trees:8 ~pool ~trials
+          ~rng:(Rng.create seed) ~epsilon:0.8 g
+      in
+      equal_approx (run ~pool:Pool.sequential ~trials:1) (run ~pool:pool4 ~trials:1)
+      && equal_approx (run ~pool:Pool.sequential ~trials:3) (run ~pool:pool4 ~trials:3))
+
+let equal_two_respect (a : Two_respect.result) (b : Two_respect.result) =
+  a.Two_respect.value = b.Two_respect.value
+  && Bitset.equal a.Two_respect.side b.Two_respect.side
+  && a.Two_respect.kind = b.Two_respect.kind
+  && equal_cost a.Two_respect.cost b.Two_respect.cost
+
+let prop_two_respect_parallel =
+  qtest ~count:20 "two-respect: workers=4 bit-identical to sequential"
+    (arbitrary_connected ~max_n:12 ())
+    (fun g ->
+      equal_two_respect
+        (Two_respect.min_cut ~params:Params.fast g)
+        (Two_respect.min_cut ~params:Params.fast ~pool:pool4 g))
+
+let prop_api_workers =
+  qtest ~count:15 "api: min_cut summaries identical for any worker count"
+    QCheck2.Gen.(pair (arbitrary_connected ~max_n:10 ()) (int_range 0 2))
+    (fun (g, pick) ->
+      let algorithm =
+        match pick with
+        | 0 -> Api.Exact_small_lambda
+        | 1 -> Api.Exact_two_respect
+        | _ -> Api.Approx 0.8
+      in
+      let s = Api.min_cut ~params:Params.fast ~algorithm ~seed:7 g in
+      let p = Api.min_cut ~params:Params.fast ~algorithm ~seed:7 ~workers:4 g in
+      s.Api.value = p.Api.value
+      && Bitset.equal s.Api.side p.Api.side
+      && s.Api.rounds = p.Api.rounds
+      && s.Api.breakdown = p.Api.breakdown)
+
+let suite =
+  [
+    tc "pool: map preserves input order" test_pool_map_order;
+    tc "pool: map_reduce folds in index order" test_pool_map_reduce_order;
+    tc "pool: first exception is re-raised" test_pool_first_exception;
+    tc "api: rejects workers < 1" test_api_rejects_bad_workers;
+    tc "approx: rejects trials < 1" test_approx_rejects_bad_trials;
+    prop_exact_parallel;
+    prop_approx_parallel;
+    prop_two_respect_parallel;
+    prop_api_workers;
+  ]
