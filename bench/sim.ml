@@ -24,6 +24,7 @@ module Primitives = Mincut_congest.Primitives
 module Replay = Mincut_analysis.Replay
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
+module Cost = Mincut_congest.Cost
 
 (* CI smoke mode: fewer iterations, same assertions. *)
 let quick = ref false
@@ -132,6 +133,28 @@ let bench_parallel ~solves g =
       ("host_cores", Json.Int (Domain.recommended_domain_count ()));
     ]
 
+(* Per-phase round profile of one exact solve per workload: the
+   top-level spans of the tree, each with its provenance tag, so the
+   artifact records where the rounds go, not just how many. *)
+let phase_profile (wname, g) =
+  let s = Api.min_cut ~params:Params.fast ~algorithm:Api.Exact_small_lambda ~seed:0 g in
+  Json.Obj
+    [
+      ("workload", Json.String wname);
+      ("total_rounds", Json.Int s.Api.rounds);
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (sp : Cost.span) ->
+               Json.Obj
+                 [
+                   ("label", Json.String sp.Cost.label);
+                   ("rounds", Json.Int sp.Cost.rounds);
+                   ("provenance", Json.String (Cost.provenance_name sp.Cost.provenance));
+                 ])
+             s.Api.cost.Cost.spans) );
+    ]
+
 let run () =
   let iters = if !quick then 500 else 20_000 in
   let solves = if !quick then 4 else 16 in
@@ -149,6 +172,7 @@ let run () =
         ("drivers", Json.List (List.map (fun (_, _, j) -> j) rows));
         ("gnp24_speedup_flat_over_reference", Json.Float gnp_speedup);
         ("parallel_exact", parallel);
+        ("phase_profiles", Json.List (List.map phase_profile (workloads ())));
       ]
   in
   let path = "BENCH_sim.json" in

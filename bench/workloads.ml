@@ -91,6 +91,7 @@ let identical (a : Api.summary) (b : Api.summary) =
   a.Api.value = b.Api.value && a.Api.rounds = b.Api.rounds
   && Mincut_util.Bitset.equal a.Api.side b.Api.side
   && a.Api.breakdown = b.Api.breakdown
+  && Mincut_congest.Cost.equal a.Api.cost b.Api.cost
 
 (* Emits BENCH_serve.json: the perf trajectory later serving PRs must
    beat.  Headline figures: cold vs warm per-query latency (the ≥10×

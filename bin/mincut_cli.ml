@@ -138,8 +138,14 @@ let solve_cmd =
     Arg.(value & flag & info [ "show-side" ] ~doc)
   in
   let breakdown_arg =
-    let doc = "Print the per-step round breakdown." in
-    Arg.(value & flag & info [ "breakdown" ] ~doc)
+    let doc =
+      "Print the round breakdown: $(b,tree) (span tree with provenance), \
+       $(b,flat) (leaf steps), or $(b,json) (machine-readable span tree)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "tree") (some string) None
+      & info [ "breakdown" ] ~docv:"MODE" ~doc)
   in
   let check_arg =
     let doc = "Also compute ground truth with Stoer-Wagner and compare." in
@@ -178,12 +184,41 @@ let solve_cmd =
               Printf.printf "side:      {%s}\n"
                 (String.concat ", "
                    (List.map string_of_int (Bitset.to_list s.Api.side)));
-            if breakdown then begin
-              print_endline "round breakdown:";
-              List.iter
-                (fun (label, rounds) -> Printf.printf "  %8d  %s\n" rounds label)
-                s.Api.breakdown
-            end;
+            let breakdown_bad = ref false in
+            (match breakdown with
+            | None -> ()
+            | Some "tree" -> Format.printf "%a@." Mincut_congest.Cost.pp s.Api.cost
+            | Some "flat" ->
+                print_endline "round breakdown:";
+                List.iter
+                  (fun (label, rounds) -> Printf.printf "  %8d  %s\n" rounds label)
+                  s.Api.breakdown
+            | Some "json" ->
+                (* print the span tree as one JSON line, but only after
+                   proving it survives a parse + decode round trip — CI
+                   leans on this as a serialization smoke test *)
+                let module Cost = Mincut_congest.Cost in
+                let module Json = Mincut_util.Json in
+                let line = Json.to_string (Cost.to_json s.Api.cost) in
+                let ok =
+                  match Json.of_string line with
+                  | Error _ -> false
+                  | Ok j -> (
+                      match Cost.of_json j with
+                      | Error _ -> false
+                      | Ok c -> Cost.equal c s.Api.cost)
+                in
+                if ok then print_endline line
+                else begin
+                  prerr_endline "breakdown json failed to round-trip";
+                  breakdown_bad := true
+                end
+            | Some other ->
+                prerr_endline
+                  (Printf.sprintf "unknown breakdown mode %S (tree|flat|json)" other);
+                breakdown_bad := true);
+            if !breakdown_bad then 1
+            else begin
             if check then begin
               let truth = (Stoer_wagner.run g).Stoer_wagner.value in
               Printf.printf "ground truth: %d (%s)\n" truth
@@ -197,7 +232,8 @@ let solve_cmd =
                 r.Mincut_core.Certificate.accepted r.Mincut_core.Certificate.recomputed
                 r.Mincut_core.Certificate.rounds
             end;
-            0)
+            0
+            end)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute a minimum cut with the distributed algorithms")
@@ -249,10 +285,8 @@ let trace_cmd =
 "
                 r.Mincut_mst.Boruvka_dist.phases
                 r.Mincut_mst.Boruvka_dist.cost.Mincut_congest.Cost.rounds;
-              List.iter
-                (fun (label, rounds) -> Printf.printf "  %6d  %s
-" rounds label)
-                r.Mincut_mst.Boruvka_dist.cost.Mincut_congest.Cost.breakdown;
+              Format.printf "%a@." Mincut_congest.Cost.pp
+                r.Mincut_mst.Boruvka_dist.cost;
               None
           | other ->
               prerr_endline (Printf.sprintf "unknown program %S" other);

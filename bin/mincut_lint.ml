@@ -46,6 +46,8 @@ let diff_summary (a : Api.summary) (b : Api.summary) =
       diff_int "rounds" a.Api.rounds b.Api.rounds;
       Replay.diff_named ~name:"side" ~equal:Bitset.equal a.Api.side b.Api.side;
       diff_breakdown a.Api.breakdown b.Api.breakdown;
+      Replay.diff_named ~name:"span tree (provenance included)"
+        ~equal:Mincut_congest.Cost.equal a.Api.cost b.Api.cost;
     ]
 
 let diff_one_respect (a : One_respect.result) (b : One_respect.result) =
@@ -57,9 +59,50 @@ let diff_one_respect (a : One_respect.result) (b : One_respect.result) =
         a.One_respect.cuts b.One_respect.cuts;
       diff_int "cost.rounds" a.One_respect.cost.Mincut_congest.Cost.rounds
         b.One_respect.cost.Mincut_congest.Cost.rounds;
-      diff_breakdown a.One_respect.cost.Mincut_congest.Cost.breakdown
-        b.One_respect.cost.Mincut_congest.Cost.breakdown;
+      diff_breakdown
+        (Mincut_congest.Cost.breakdown a.One_respect.cost)
+        (Mincut_congest.Cost.breakdown b.One_respect.cost);
+      Replay.diff_named ~name:"span tree (provenance included)"
+        ~equal:Mincut_congest.Cost.equal a.One_respect.cost b.One_respect.cost;
     ]
+
+(* The paper structures Theorem 2.1 as five numbered steps; the span
+   tree must expose exactly that shape, with every phase carrying a
+   provenance tag.  Checked per workload, independent of replay. *)
+let check_phase_structure (r : One_respect.result) =
+  let module Cost = Mincut_congest.Cost in
+  let spans = r.One_respect.cost.Cost.spans in
+  let expected =
+    [ "Step 1: "; "Step 2: "; "Step 3: "; "Step 4: "; "Step 5: " ]
+  in
+  let prefix p s =
+    String.length s >= String.length p && String.equal (String.sub s 0 (String.length p)) p
+  in
+  let shape_errors =
+    if List.length spans <> 5 then
+      [ Printf.sprintf "expected 5 top-level phase spans, got %d" (List.length spans) ]
+    else
+      List.concat
+        (List.map2
+           (fun want (s : Cost.span) ->
+             let errs = ref [] in
+             if not (prefix want s.Cost.label) then
+               errs :=
+                 Printf.sprintf "phase %S does not start with %S" s.Cost.label want
+                 :: !errs;
+             if s.Cost.children = [] then
+               errs := Printf.sprintf "phase %S has no children" s.Cost.label :: !errs;
+             !errs)
+           expected spans)
+  in
+  let round_errors =
+    let total = List.fold_left (fun acc (s : Cost.span) -> acc + s.Cost.rounds) 0 spans in
+    if total = r.One_respect.cost.Cost.rounds then []
+    else
+      [ Printf.sprintf "phase rounds sum %d <> total %d" total
+          r.One_respect.cost.Cost.rounds ]
+  in
+  shape_errors @ round_errors
 
 let workloads () =
   [
@@ -97,6 +140,13 @@ let replay_checks () =
               ~run:(fun () -> Api.one_respecting_cut ~params:Params.fast g tree)
               ~diff:diff_one_respect
             |> Result.map (fun _ -> ()) );
+        ( Printf.sprintf "phase-structure/%s" wname,
+          fun () ->
+            let tree = Tree.of_edge_ids g ~root:0 (Mst_seq.kruskal g) in
+            let r = Api.one_respecting_cut ~params:Params.fast g tree in
+            match check_phase_structure r with
+            | [] -> Ok ()
+            | errs -> Error errs );
       ])
     (workloads ())
 

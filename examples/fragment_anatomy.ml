@@ -65,6 +65,12 @@ let () =
 
   let side = One_respect_seq.side_of tree seq.One_respect_seq.best_node in
   let labels v = Printf.sprintf "%d|F%d" v fr.Fragments.frag_of.(v) in
-  Mincut_graph.Dot.save "fragment_anatomy.dot" ~side ~labels g;
-  print_endline
-    "\nwrote fragment_anatomy.dot (render with: dot -Tsvg fragment_anatomy.dot)"
+  (* generated output belongs next to the example, not at the repo root;
+     under the dune test sandbox (no examples/ dir) fall back to cwd *)
+  let out =
+    if Sys.file_exists "examples" && Sys.is_directory "examples" then
+      Filename.concat "examples" "fragment_anatomy.dot"
+    else "fragment_anatomy.dot"
+  in
+  Mincut_graph.Dot.save out ~side ~labels g;
+  Printf.printf "\nwrote %s (render with: dot -Tsvg %s)\n" out out

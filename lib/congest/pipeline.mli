@@ -19,7 +19,13 @@
     loads), so the resulting costs are schedules of this run, not
     formulas about a hypothetical one.  The real message-level programs
     in {!Primitives} implement the same schedules and are tested to match
-    these counts. *)
+    these counts.
+
+    Round counts from this module become [Scheduled] spans in the
+    {!Cost} tree (wrap them with {!Cost.scheduled}); counts measured on
+    {!Network} become [Executed] spans, and published bounds become
+    [Charged] spans — experiment A2 compares the first two kinds
+    phase-by-phase. *)
 
 val broadcast : depth:int -> items:int -> int
 

@@ -54,7 +54,7 @@ let bfs_tree_audited ?cfg g ~root =
   if Array.exists (fun st -> st.dist = -1) states then
     invalid_arg "Primitives.bfs_tree: disconnected graph";
   let tree = Tree.of_parents ~graph_n:n ~root ~parent ~parent_edge in
-  (tree, Cost.step "bfs-tree (real)" audit.Network.rounds, audit)
+  (tree, Cost.executed ~audit "bfs-tree (real)" audit.Network.rounds, audit)
 
 let bfs_tree ?cfg g ~root =
   let tree, cost, _ = bfs_tree_audited ?cfg g ~root in
@@ -90,7 +90,7 @@ let convergecast_sum_audited ?cfg g ~tree ~values =
     }
   in
   let states, audit = Network.run ?cfg ~words:(fun _ -> 2) g prog in
-  (states.(root).acc, Cost.step "convergecast (real)" audit.Network.rounds, audit)
+  (states.(root).acc, Cost.executed ~audit "convergecast (real)" audit.Network.rounds, audit)
 
 let convergecast_sum ?cfg g ~tree ~values =
   let v, cost, _ = convergecast_sum_audited ?cfg g ~tree ~values in
@@ -138,7 +138,7 @@ let broadcast_items_audited ?cfg g ~tree ~items =
   let states, audit = Network.run ?cfg ~words:(fun _ -> 1) g prog in
   let per_node = Array.map (fun st -> Array.of_list (List.rev st.got)) states in
   per_node.(root) <- Array.copy items;
-  (per_node, Cost.step "pipelined broadcast (real)" audit.Network.rounds, audit)
+  (per_node, Cost.executed ~audit "pipelined broadcast (real)" audit.Network.rounds, audit)
 
 let broadcast_items ?cfg g ~tree ~items =
   let per_node, cost, _ = broadcast_items_audited ?cfg g ~tree ~items in
@@ -179,7 +179,7 @@ let upcast_distinct_audited ?cfg g ~tree ~initial =
   let states, audit = Network.run_bounded ?cfg ~words:(fun _ -> 1) ~rounds:bound g prog in
   let got = states.(root).known in
   if not (ISet.equal got all) then failwith "Primitives.upcast_distinct: incomplete upcast";
-  (ISet.elements got, Cost.step "pipelined upcast (real)" audit.Network.rounds, audit)
+  (ISet.elements got, Cost.executed ~audit "pipelined upcast (real)" audit.Network.rounds, audit)
 
 let upcast_distinct ?cfg g ~tree ~initial =
   let items, cost, _ = upcast_distinct_audited ?cfg g ~tree ~initial in
@@ -209,7 +209,7 @@ let flood_max ?cfg g ~values =
     }
   in
   let states, audit = Network.run_bounded ?cfg ~words:(fun _ -> 1) ~rounds:bound g prog in
-  (Array.map (fun st -> st.best) states, Cost.step "flood-max (real)" audit.Network.rounds)
+  (Array.map (fun st -> st.best) states, Cost.executed ~audit "flood-max (real)" audit.Network.rounds)
 
 (* ------------------------------------------------------------------ *)
 (* Flood with echo (termination detection at the root)                 *)
@@ -254,4 +254,4 @@ let flood_echo ?cfg g ~root =
   in
   ignore n;
   let _, audit = Network.run ?cfg ~words:(fun _ -> 1) g prog in
-  (tree, Cost.( ++ ) c_flood (Cost.step "echo (real)" audit.Network.rounds))
+  (tree, Cost.( ++ ) c_flood (Cost.executed ~audit "echo (real)" audit.Network.rounds))

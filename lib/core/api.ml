@@ -22,11 +22,19 @@ type summary = {
   value : int;
   side : Bitset.t;
   rounds : int;
+  cost : Cost.t;
   breakdown : (string * int) list;
 }
 
 let of_cost algorithm value side (cost : Cost.t) =
-  { algorithm; value; side; rounds = cost.Cost.rounds; breakdown = cost.Cost.breakdown }
+  {
+    algorithm;
+    value;
+    side;
+    rounds = cost.Cost.rounds;
+    cost;
+    breakdown = Cost.breakdown cost;
+  }
 
 let min_cut ?(params = Params.default) ?(algorithm = Exact_small_lambda) ?(seed = 0)
     ?trees ?(workers = 1) g =

@@ -23,7 +23,11 @@ type summary = {
                                          whether it is in X, per the problem
                                          statement *)
   rounds : int;                      (** simulated CONGEST rounds *)
-  breakdown : (string * int) list;   (** per-step round costs *)
+  cost : Mincut_congest.Cost.t;      (** the provenance-tagged span tree
+                                         of the whole run *)
+  breakdown : (string * int) list;   (** derived flat view of [cost]:
+                                         per-step round costs, leaves in
+                                         execution order *)
 }
 
 val min_cut :

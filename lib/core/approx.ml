@@ -34,7 +34,7 @@ let search_trial ~params ~trees ~pool ~rng ~epsilon g =
         p = 1.0;
         skeleton_value = r.Exact.value;
         guesses;
-        cost = Cost.( ++ ) cost_acc r.Exact.cost;
+        cost = Cost.( ++ ) cost_acc (Cost.group "exact on G (p = 1)" r.Exact.cost);
       }
     end
     else begin
@@ -47,10 +47,15 @@ let search_trial ~params ~trees ~pool ~rng ~epsilon g =
       if not skeleton_ok then
         (* guess way too high — the skeleton fell apart *)
         search (max 1 (lambda_hat / 2)) (guesses + 1)
-          (Cost.( ++ ) cost_acc (Cost.step "skeleton connectivity check" 1))
+          (Cost.( ++ ) cost_acc (Cost.scheduled "skeleton connectivity check" 1))
       else begin
         let r = Exact.run ~params ~pool ~trees sk.Sampling.graph in
-        let cost_acc = Cost.( ++ ) cost_acc r.Exact.cost in
+        let cost_acc =
+          Cost.( ++ ) cost_acc
+            (Cost.group
+               (Printf.sprintf "exact on skeleton (lambda_hat = %d)" lambda_hat)
+               r.Exact.cost)
+        in
         if float_of_int r.Exact.value < threshold && lambda_hat > 1 then
           search (max 1 (lambda_hat / 2)) (guesses + 1) cost_acc
         else

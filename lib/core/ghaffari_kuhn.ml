@@ -54,7 +54,7 @@ let run ?(params = Params.default) ~epsilon g =
     consider h node;
     let cost =
       Cost.( ++ ) cost
-        (Cost.step
+        (Cost.charged
            (Printf.sprintf "gk iteration %d (charged at published bound)" (iterations + 1))
            iteration_rounds)
     in

@@ -314,7 +314,7 @@ let run ?(params = Params.default) ?target g tree =
       Primitives.bfs_tree ~cfg:params.Params.congest g ~root
     else
       let t = Tree.bfs_tree g ~root in
-      (t, Cost.step "bfs-tree (scheduled)" (Tree.height t + 1))
+      (t, Cost.scheduled "bfs-tree (scheduled)" (Tree.height t + 1))
   in
   let hb = Tree.height bfs_tree in
   let an = analyze ?target g tree in
@@ -325,19 +325,19 @@ let run ?(params = Params.default) ?target g tree =
 
   (* -------- Step 1: partition into fragments; learn ids; build TF --- *)
   let c_partition =
-    Cost.step "step1: KP partition (charged at KP bound)"
+    Cost.charged "step1: KP partition (charged at KP bound)"
       (Params.kp_partition_rounds params ~n ~diameter:hb)
   in
   let c_frag_ids =
     (* min-id convergecast + downcast within each fragment *)
-    Cost.step "step1: fragment id agreement"
+    Cost.scheduled "step1: fragment id agreement"
       (Pipeline.convergecast ~depth:maxh ~max_edge_load:1
       + Pipeline.broadcast ~depth:maxh ~items:1)
   in
   let c_tf =
     (* broadcast the k-1 inter-fragment edges to the whole network *)
     let items = max 0 (k - 1) in
-    Cost.step "step1: broadcast T_F (k-1 inter-fragment edges)"
+    Cost.scheduled "step1: broadcast T_F (k-1 inter-fragment edges)"
       (Pipeline.upcast ~depth:hb ~items + Pipeline.broadcast ~depth:hb ~items)
   in
 
@@ -383,10 +383,10 @@ let run ?(params = Params.default) ?target g tree =
           in
           assert (List.sort Int.compare got = expected))
         fr.Fragments.roots;
-      Cost.step "step2: upcast child-fragment lists (real)" rounds
+      Cost.executed "step2: upcast child-fragment lists (real)" rounds
     end
     else
-      Cost.step "step2: upcast child-fragment lists (F computation)"
+      Cost.scheduled "step2: upcast child-fragment lists (F computation)"
         (Pipeline.convergecast ~depth:maxh ~max_edge_load:max_load_a)
   in
   (* (b) downcast ancestor ids: every node learns A(v) (its ancestors in
@@ -411,11 +411,11 @@ let run ?(params = Params.default) ?target g tree =
          one-fragment extension into the parent fragment follows the
          same schedule and is appended analytically *)
       let real = frag_ancestor_downcast ~cfg:params.Params.congest g tree fr in
-      Cost.step "step2: downcast ancestor ids (real + parent-fragment extension)"
+      Cost.executed "step2: downcast ancestor ids (real + parent-fragment extension)"
         (real + maxh + 1)
     end
     else
-      Cost.step "step2: downcast ancestor ids (A computation)"
+      Cost.scheduled "step2: downcast ancestor ids (A computation)"
         (Pipeline.convergecast ~depth:(2 * maxh) ~max_edge_load:!max_a)
   in
   (* (c) each node also learns F(u) for u in A(v): one message per
@@ -426,7 +426,7 @@ let run ?(params = Params.default) ?target g tree =
       0 fr.Fragments.roots
   in
   let c_f_down =
-    Cost.step "step2: downcast F(u) for ancestors"
+    Cost.scheduled "step2: downcast F(u) for ancestors"
       (Pipeline.convergecast ~depth:(2 * maxh) ~max_edge_load:max_f_items)
   in
 
@@ -451,10 +451,10 @@ let run ?(params = Params.default) ?target g tree =
          fragment converges in parallel (they are vertex-disjoint) *)
       let real, rounds = frag_wave ~cfg:params.Params.congest g tree fr delta in
       assert (real = s_delta);
-      Cost.step "step3: within-fragment delta sums (real)" rounds
+      Cost.executed "step3: within-fragment delta sums (real)" rounds
     end
     else
-      Cost.step "step3: within-fragment delta sums"
+      Cost.scheduled "step3: within-fragment delta sums"
         (Pipeline.convergecast ~depth:maxh ~max_edge_load:1)
   in
   let delta_frag = Array.make k 0 in
@@ -462,7 +462,7 @@ let run ?(params = Params.default) ?target g tree =
     delta_frag.(fr.Fragments.frag_of.(v)) <- delta_frag.(fr.Fragments.frag_of.(v)) + delta.(v)
   done;
   let c_delta_bcast =
-    Cost.step "step3: broadcast delta(F_i) for all fragments"
+    Cost.scheduled "step3: broadcast delta(F_i) for all fragments"
       (Pipeline.upcast ~depth:hb ~items:k + Pipeline.broadcast ~depth:hb ~items:k)
   in
   let delta_down =
@@ -472,11 +472,11 @@ let run ?(params = Params.default) ?target g tree =
 
   (* -------- Step 4: merging nodes and T'F ---------------------------- *)
   let c_merging =
-    Cost.step "step4: local merging-node detection" 1
+    Cost.scheduled "step4: local merging-node detection" 1
   in
   let c_tfp =
     let items = an.merging_count + max 0 (an.tfp_size - 1) in
-    Cost.step "step4: broadcast merging nodes and T'F edges"
+    Cost.scheduled "step4: broadcast merging nodes and T'F edges"
       (Pipeline.upcast ~depth:hb ~items + Pipeline.broadcast ~depth:hb ~items)
   in
 
@@ -494,20 +494,20 @@ let run ?(params = Params.default) ?target g tree =
       if case = 2 then Hashtbl.replace case2_lcas z ())
     g;
   let c_lca =
-    Cost.step "step5: per-edge LCA (1 frag exchange + list exchanges)"
+    Cost.scheduled "step5: per-edge LCA (1 frag exchange + list exchanges)"
       (1 + Pipeline.exchange ~items:!max_exchange)
   in
   (* type (i): count case-2 messages over the BFS tree *)
   let m2 = Hashtbl.length case2_lcas in
   let c_type1 =
-    Cost.step "step5: count type-(i) messages over BFS tree"
+    Cost.scheduled "step5: count type-(i) messages over BFS tree"
       (Pipeline.convergecast ~depth:hb ~max_edge_load:(max 1 m2)
       + Pipeline.broadcast ~depth:hb ~items:(max 1 m2))
   in
   (* type (ii): pipelined within-fragment counting; per-edge load is the
      number of in-fragment ancestors *)
   let c_type2 =
-    Cost.step "step5: count type-(ii) messages within fragments"
+    Cost.scheduled "step5: count type-(ii) messages within fragments"
       (Pipeline.convergecast ~depth:maxh ~max_edge_load:(maxh + 1))
   in
   (* rho_down by the same machinery as delta_down *)
@@ -521,7 +521,7 @@ let run ?(params = Params.default) ?target g tree =
         List.fold_left (fun acc j -> acc + rho_frag.(j)) s_rho.(v) an.f_sets.(v))
   in
   let c_rho_down =
-    Cost.step "step5: rho_down aggregation (delta_down machinery)"
+    Cost.scheduled "step5: rho_down aggregation (delta_down machinery)"
       (Pipeline.convergecast ~depth:maxh ~max_edge_load:1
       + Pipeline.upcast ~depth:hb ~items:k
       + Pipeline.broadcast ~depth:hb ~items:k)
@@ -534,16 +534,27 @@ let run ?(params = Params.default) ?target g tree =
     if v <> root && (!best = -1 || cuts.(v) < cuts.(!best)) then best := v
   done;
   let c_min =
-    Cost.step "finish: global min convergecast + broadcast"
+    Cost.scheduled "finish: global min convergecast + broadcast"
       (Pipeline.convergecast ~depth:hb ~max_edge_load:1
       + Pipeline.broadcast ~depth:hb ~items:1)
   in
+  (* Exactly five top-level phase spans, matching the paper's Steps 1–5
+     (Theorem 2.1).  The global BFS backbone is part of Step 1's setup;
+     Karger's-lemma finish (the global minimum) closes Step 5.  Grouping
+     is structural: the flat breakdown and the total are unchanged. *)
   let cost =
     Cost.sum
       [
-        c_bfs; c_partition; c_frag_ids; c_tf; c_f_up; c_a_down; c_f_down;
-        c_s_delta; c_delta_bcast; c_merging; c_tfp; c_lca; c_type1; c_type2;
-        c_rho_down; c_min;
+        Cost.group "Step 1: partition into fragments, learn ids, build T_F"
+          (Cost.sum [ c_bfs; c_partition; c_frag_ids; c_tf ]);
+        Cost.group "Step 2: subtree-fragment knowledge F(v) and A(v)"
+          (Cost.sum [ c_f_up; c_a_down; c_f_down ]);
+        Cost.group "Step 3: delta_down via fragment aggregation"
+          (Cost.sum [ c_s_delta; c_delta_bcast ]);
+        Cost.group "Step 4: merging nodes and T'_F"
+          (Cost.sum [ c_merging; c_tfp ]);
+        Cost.group "Step 5: per-edge LCA, rho_down, global minimum"
+          (Cost.sum [ c_lca; c_type1; c_type2; c_rho_down; c_min ]);
       ]
   in
   {

@@ -22,7 +22,7 @@ let run ?params:_ g =
   if not (Bfs.is_connected g) then
     {
       verdict = Cut_found { value = 0; side = Bfs.component_of g 0 };
-      cost = Cost.step "connectivity check (BFS)" n;
+      cost = Cost.scheduled "connectivity check (BFS)" n;
     }
   else begin
     let diameter = Tree.height (Tree.bfs_tree g ~root:0) in
@@ -31,14 +31,14 @@ let run ?params:_ g =
       let rec go k = if 1 lsl k >= max 2 n then k else go (k + 1) in
       go 1
     in
-    let c_edges = Cost.step "pritchard: cut edges (charged O(D))" (max 1 diameter) in
+    let c_edges = Cost.charged "pritchard: cut edges (charged O(D))" (max 1 diameter) in
     match Small_cuts.bridges g with
     | id :: _ ->
         { verdict = Cut_found { value = 1; side = bridge_side g id }; cost = c_edges }
     | [] -> (
         let c_pairs =
           Cost.( ++ ) c_edges
-            (Cost.step "pritchard: cut pairs (charged O(D log n))"
+            (Cost.charged "pritchard: cut pairs (charged O(D log n))"
                (max 1 (diameter * log2n)))
         in
         match Small_cuts.heavy_bridges g with

@@ -59,7 +59,7 @@ let run ?(params = Params.default) ?(samples_per_guess = 3) ~rng ~epsilon g =
       let sk = (Sampling.sample ~rng g ~p).Sampling.graph in
       cost :=
         Cost.( ++ ) !cost
-          (Cost.step "su: thurimella bridge finding (charged)" thurimella_rounds);
+          (Cost.charged "su: thurimella bridge finding (charged)" thurimella_rounds);
       if not (Bfs.is_connected sk) || Graph.m sk = 0 then begin
         (* skeleton components are themselves cut candidates *)
         if Graph.n sk > 0 then consider (Bfs.component_of sk 0)

@@ -98,7 +98,7 @@ let run ?(params = Params.default) g tree =
     go 1
   in
   let cost =
-    Cost.step "2-respect sweep (charged at the Mukhopadhyay-Nanongkai bound)"
+    Cost.charged "2-respect sweep (charged at the Mukhopadhyay-Nanongkai bound)"
       (Params.kp_mst_rounds params ~n ~diameter * log2n)
   in
   { value = !best_value; side = side_of_kind tree !best_kind; kind = !best_kind; cost }
@@ -111,7 +111,7 @@ let min_cut ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
       value = 0;
       side = Bfs.component_of g 0;
       kind = One 0;
-      cost = Cost.step "bfs-tree (component detection)" n;
+      cost = Cost.scheduled "bfs-tree (component detection)" n;
     }
   else begin
     let trees =
@@ -140,15 +140,22 @@ let min_cut ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
         packing.Tree_packing.trees
     in
     let best = ref None in
-    let cost = ref c_pack in
-    Array.iter
-      (fun r ->
-        cost := Cost.( ++ ) !cost r.cost;
+    let sweep = ref Cost.zero in
+    Array.iteri
+      (fun i r ->
+        sweep :=
+          Cost.( ++ ) !sweep
+            (Cost.group (Printf.sprintf "tree %d: 2-respect sweep" (i + 1)) r.cost);
         match !best with
         | Some b when b.value <= r.value -> ()
         | _ -> best := Some r)
       per_tree;
+    (* fixed-label parent: per-phase consumers must not scale with the
+       tree budget *)
+    let cost =
+      Cost.( ++ ) c_pack (Cost.group "per-tree 2-respect sweeps" !sweep)
+    in
     match !best with
     | None -> assert false
-    | Some b -> { b with cost = !cost }
+    | Some b -> { b with cost }
   end

@@ -46,7 +46,7 @@ let exchange_frags ?cfg g frag =
   in
   let states, audit = Network.run ?cfg ~words g prog in
   let heard = Array.map (fun st -> st.heard) states in
-  (heard, Cost.step "boruvka: frag exchange (real)" audit.Network.rounds)
+  (heard, Cost.executed ~audit "boruvka: frag exchange (real)" audit.Network.rounds)
 
 (* --- step B: convergecast of the min outgoing edge ----------------- *)
 
@@ -75,7 +75,7 @@ let converge_candidates ?cfg g ~parent ~child_count ~local =
     }
   in
   let states, audit = Network.run ?cfg ~words g prog in
-  (Array.map (fun st -> st.best) states, Cost.step "boruvka: candidate convergecast (real)" audit.Network.rounds)
+  (Array.map (fun st -> st.best) states, Cost.executed ~audit "boruvka: candidate convergecast (real)" audit.Network.rounds)
 
 (* --- step C: broadcast the decision down each fragment ------------- *)
 
@@ -111,7 +111,7 @@ let broadcast_decision ?cfg g ~parent ~children ~leader_decision =
   in
   let states, audit = Network.run ?cfg ~words g prog in
   ( Array.map (fun st -> match st.decision with Some d -> d | None -> -1) states,
-    Cost.step "boruvka: decision broadcast (real)" audit.Network.rounds )
+    Cost.executed ~audit "boruvka: decision broadcast (real)" audit.Network.rounds )
 
 (* --- step D: flood merged fragment ids, re-orienting the tree ------ *)
 
@@ -160,7 +160,7 @@ let flood_new_ids ?cfg g ~allowed ~is_leader ~new_id =
     }
   in
   let states, audit = Network.run ?cfg ~words g prog in
-  (states, Cost.step "boruvka: merge flood (real)" audit.Network.rounds)
+  (states, Cost.executed ~audit "boruvka: merge flood (real)" audit.Network.rounds)
 
 (* --- main loop ------------------------------------------------------ *)
 
@@ -207,7 +207,11 @@ let run ?cfg g =
     done;
     if Hashtbl.length chosen = 0 then begin
       (* no outgoing edges anywhere: single fragment or disconnected *)
-      cost := Cost.( ++ ) !cost (Cost.( ++ ) c1 c2);
+      cost :=
+        Cost.( ++ ) !cost
+          (Cost.group
+             (Printf.sprintf "boruvka phase %d (final probe)" !phases)
+             (Cost.( ++ ) c1 c2));
       continue := false
     end
     else begin
@@ -220,7 +224,7 @@ let run ?cfg g =
             (match Hashtbl.find_opt chosen frag.(v) with Some id -> id | None -> -1)
       done;
       let _, c3 = broadcast_decision ?cfg g ~parent ~children ~leader_decision in
-      let c3 = Cost.( ++ ) c3 (Cost.step "boruvka: merge handshake" 1) in
+      let c3 = Cost.( ++ ) c3 (Cost.scheduled "boruvka: merge handshake" 1) in
       (* resolve merges *)
       let uf = Union_find.create n in
       Hashtbl.iter
@@ -280,7 +284,11 @@ let run ?cfg g =
       for v = 0 to n - 1 do
         if parent.(v) <> -1 then children.(parent.(v)) <- v :: children.(parent.(v))
       done;
-      cost := Cost.sum [ !cost; c1; c2; c3; c4 ];
+      cost :=
+        Cost.( ++ ) !cost
+          (Cost.group
+             (Printf.sprintf "boruvka phase %d" !phases)
+             (Cost.sum [ c1; c2; c3; c4 ]));
       if distinct_frags () <= 1 then continue := false
     end
   done;

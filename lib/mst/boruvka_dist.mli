@@ -24,7 +24,9 @@
 type result = {
   edge_ids : int list;      (** MST (or minimum spanning forest) edges *)
   phases : int;             (** Borůvka phases executed (≤ ⌈log₂ n⌉) *)
-  cost : Mincut_congest.Cost.t;  (** measured rounds, per phase step *)
+  cost : Mincut_congest.Cost.t;
+      (** measured rounds: one [Executed]-dominated span per Borůvka
+          phase, with the four real sub-programs as children *)
 }
 
 val run : ?cfg:Mincut_congest.Config.t -> Mincut_graph.Graph.t -> result

@@ -1,6 +1,7 @@
 module Bitset = Mincut_util.Bitset
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
+module Cost = Mincut_congest.Cost
 
 type config = {
   params : Params.t;
@@ -40,9 +41,35 @@ type t = {
 }
 
 (* approximate resident footprint of a summary, in words: the side
-   bitset dominates, plus the breakdown list and fixed fields *)
+   bitset dominates, plus the span tree, its derived flat view and
+   fixed fields *)
+let rec span_words (sp : Cost.span) =
+  6 + List.fold_left (fun acc c -> acc + span_words c) 0 sp.Cost.children
+
 let summary_cost (s : Api.summary) =
-  8 + ((Bitset.capacity s.Api.side + 63) / 64) + (2 * List.length s.Api.breakdown)
+  8
+  + ((Bitset.capacity s.Api.side + 63) / 64)
+  + (2 * List.length s.Api.breakdown)
+  + List.fold_left (fun acc sp -> acc + span_words sp) 0 s.Api.cost.Cost.spans
+
+(* per-phase round accounting: one counter per top-level span of the
+   solved summary, resolved by name on first use so the set of phases
+   need not be known up front *)
+let metric_slug label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '_')
+    label
+
+let note_phase_rounds metrics (s : Api.summary) =
+  List.iter
+    (fun (sp : Cost.span) ->
+      Metrics.incr ~by:sp.Cost.rounds
+        (Metrics.counter metrics ("rounds_phase_" ^ metric_slug sp.Cost.label)))
+    s.Api.cost.Cost.spans
 
 let key_of cfg (r : Request.t) =
   Graph_key.key ~algorithm:r.Request.algorithm ~seed:r.Request.seed
@@ -108,6 +135,7 @@ let solve t r =
         let s = run_solve t.cfg r in
         Cache.add t.cache key s;
         Metrics.incr ~by:s.Api.rounds t.rounds_charged;
+        note_phase_rounds t.metrics s;
         (s, false)
   in
   let now = Unix.gettimeofday () in
@@ -163,6 +191,7 @@ let flush t =
       let s, ms = solved.(i) in
       Cache.add t.cache key s;
       Metrics.incr ~by:s.Api.rounds t.rounds_charged;
+      note_phase_rounds t.metrics s;
       Metrics.incr t.batches;
       List.iter
         (fun tk -> answered := (tk, r, key, s, false, ms) :: !answered)

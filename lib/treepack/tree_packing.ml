@@ -60,7 +60,7 @@ let load_invariant g t =
   && Array.for_all (fun ids -> Mst_seq.is_spanning_tree g ids) t.trees
 
 let distributed_cost ~n:_ ~diameter:_ ~trees ~per_tree_rounds =
-  Cost.step
+  Cost.charged
     (Printf.sprintf "tree packing: %d MSTs at the Kutten-Peleg bound" trees)
     (trees * per_tree_rounds)
 

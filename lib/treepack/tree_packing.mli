@@ -50,7 +50,8 @@ val distributed_cost :
 (** Round cost of computing the packing distributedly: [trees]
     sequential MST computations, each charged [per_tree_rounds] (the
     Kutten–Peleg bound from {!Mincut_core.Params}); load bookkeeping is
-    local. *)
+    local.  Returned as a single [Charged] span — the bound is cited,
+    not executed. *)
 
 (** {2 Edge-disjoint packings (Nash–Williams / Tutte)}
 

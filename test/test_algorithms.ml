@@ -75,7 +75,7 @@ let test_exact_cost_includes_packing () =
   check_bool "packing charged" true
     (List.exists
        (fun (l, _) -> String.length l >= 12 && String.sub l 0 12 = "tree packing")
-       r.Exact.cost.Cost.breakdown)
+       (Cost.breakdown r.Exact.cost))
 
 let test_exact_more_trees_never_worse () =
   let rng = Rng.create 33 in
@@ -239,7 +239,7 @@ let test_exact_cost_breakdown_has_leader () =
   check_bool "leader election charged" true
     (List.exists
        (fun (l, _) -> String.length l >= 6 && String.sub l 0 6 = "leader")
-       r.Exact.cost.Cost.breakdown)
+       (Cost.breakdown r.Exact.cost))
 
 let qcheck_tests =
   [

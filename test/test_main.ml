@@ -10,6 +10,7 @@ let () =
       ("mincut-seq", Test_mincut_seq.suite);
       ("flow", Test_flow.suite);
       ("congest", Test_congest.suite);
+      ("cost", Test_cost.suite);
       ("mst-dist", Test_mst_dist.suite);
       ("treepack", Test_treepack.suite);
       ("one-respect", Test_one_respect.suite);

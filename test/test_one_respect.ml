@@ -133,18 +133,34 @@ let test_stats_sqrt_bounds () =
         (s.One_respect.tf_prime_size <= (2 * sqrt_n) + 2))
     [ 64; 100; 196 ]
 
+let has_prefix prefix l =
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
 let test_cost_has_all_steps () =
   let g = Generators.grid 6 6 in
   let tree = Tree.bfs_tree g ~root:0 in
   let r = One_respect.run g tree in
-  let labels = List.map fst r.One_respect.cost.Cost.breakdown in
+  (* the span tree exposes the paper's five numbered phases at top level *)
+  let spans = r.One_respect.cost.Cost.spans in
+  check_int "five phase spans" 5 (List.length spans);
+  List.iteri
+    (fun i (s : Cost.span) ->
+      let want = Printf.sprintf "Step %d:" (i + 1) in
+      check_bool (want ^ " label") true (has_prefix want s.Cost.label);
+      check_bool (want ^ " has children") true (s.Cost.children <> []);
+      check_bool (want ^ " provenance named") true
+        (List.exists
+           (String.equal (Cost.provenance_name s.Cost.provenance))
+           [ "executed"; "scheduled"; "charged" ]))
+    spans;
+  check_int "phase rounds sum to total" r.One_respect.cost.Cost.rounds
+    (List.fold_left (fun acc (s : Cost.span) -> acc + s.Cost.rounds) 0 spans);
+  (* the flat view still carries every pre-refactor leaf label *)
+  let labels = List.map fst (Cost.breakdown r.One_respect.cost) in
   List.iter
     (fun prefix ->
-      check_bool (prefix ^ " present") true
-        (List.exists
-           (fun l -> String.length l >= String.length prefix
-                     && String.sub l 0 (String.length prefix) = prefix)
-           labels))
+      check_bool (prefix ^ " present") true (List.exists (has_prefix prefix) labels))
     [ "bfs-tree"; "step1"; "step2"; "step3"; "step4"; "step5"; "finish" ];
   check_bool "rounds positive" true (r.One_respect.cost.Cost.rounds > 0)
 

@@ -15,10 +15,11 @@ module Params = Mincut_core.Params
 let pool4 = Pool.create ~workers:4 ()
 
 let equal_cost (a : Cost.t) (b : Cost.t) =
-  a.Cost.rounds = b.Cost.rounds
+  (* full span-tree equality: labels, rounds, provenance, audits *)
+  Cost.equal a b
   && List.equal
        (fun (la, ra) (lb, rb) -> String.equal la lb && ra = rb)
-       a.Cost.breakdown b.Cost.breakdown
+       (Cost.breakdown a) (Cost.breakdown b)
 
 let test_pool_map_order () =
   let jobs = Array.init 100 (fun i -> i) in

@@ -11,6 +11,7 @@ module Bitset = Mincut_util.Bitset
 module Hash = Mincut_util.Hash
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
+module Cost = Mincut_congest.Cost
 module Cache = Mincut_serve.Cache
 module Graph_key = Mincut_serve.Graph_key
 module Json = Mincut_serve.Json
@@ -255,7 +256,31 @@ let check_summaries_identical msg (a : Api.summary) (b : Api.summary) =
   check_int (msg ^ ": rounds") a.Api.rounds b.Api.rounds;
   check_bool (msg ^ ": side") true (Bitset.equal a.Api.side b.Api.side);
   check_bool (msg ^ ": breakdown") true (a.Api.breakdown = b.Api.breakdown);
+  check_bool (msg ^ ": span tree") true (Cost.equal a.Api.cost b.Api.cost);
   check_bool (msg ^ ": algorithm") true (a.Api.algorithm = b.Api.algorithm)
+
+(* Bit-identity of a cache hit must extend to the serialized span tree:
+   a warm answer re-encodes to the exact bytes of the cold one, span for
+   span (value, side, rounds and per-span provenance all equal). *)
+let test_service_cache_hit_span_tree () =
+  let t = service () in
+  let g = Generators.grid 5 5 in
+  let cold = Service.solve t (Request.make g) in
+  let warm = Service.solve t (Request.make g) in
+  check_bool "second is a hit" true warm.Request.cached;
+  let a = cold.Request.summary and b = warm.Request.summary in
+  check_summaries_identical "cold vs warm" a b;
+  let rec provenances (sp : Cost.span) =
+    Cost.provenance_name sp.Cost.provenance
+    :: List.concat_map provenances sp.Cost.children
+  in
+  Alcotest.(check (list string))
+    "per-span provenance"
+    (List.concat_map provenances a.Api.cost.Cost.spans)
+    (List.concat_map provenances b.Api.cost.Cost.spans);
+  check_string "serialized span tree bytes"
+    (Json.to_string (Cost.to_json a.Api.cost))
+    (Json.to_string (Cost.to_json b.Api.cost))
 
 let test_service_cache_hit_identical () =
   let t = service () in
@@ -493,6 +518,7 @@ let suite =
     tc "pool: parallel map matches sequential" test_pool_matches_sequential;
     tc "pool: exceptions propagate" test_pool_exception_propagates;
     tc "service: cache hit bit-identical" test_service_cache_hit_identical;
+    tc "service: cache hit span tree bit-identical" test_service_cache_hit_span_tree;
     tc "service: flush coalesces and answers in order" test_service_flush_batches;
     tc "service: metrics accounting" test_service_metrics_accounting;
     tc "server: scripted session" test_server_session;
