@@ -7,11 +7,9 @@ module Generators = Mincut_graph.Generators
 module Tree = Mincut_graph.Tree
 
 (* Supercritical Erdős–Rényi: connected w.h.p., diameter O(log n) — the
-   family for n-sweeps where D must stay small. *)
-let gnp_supercritical ~seed n =
-  let rng = Rng.create seed in
-  let p = 8.0 *. log (float_of_int n) /. float_of_int n in
-  Generators.gnp_connected ~rng n (Float.min 1.0 p)
+   family for n-sweeps where D must stay small.  The certifier's
+   scaling ladder uses the same family, so the definition lives there. *)
+let gnp_supercritical ~seed n = Mincut_analysis.Scaling.supercritical ~seed n
 
 (* Diameter-controlled family: λ = 2 stays fixed, D grows linearly. *)
 let cliques_path ~length = Generators.path_of_cliques ~clique:8 ~length

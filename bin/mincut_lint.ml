@@ -3,18 +3,26 @@
      mincut_lint                    # lint lib/ bin/ + replay conformance
      mincut_lint --json             # machine-readable report
      mincut_lint --no-replay src/   # lint only, custom roots
+     mincut_lint certify --quick    # CONGEST-model certifier (CI form)
+     mincut_lint certify --inject order   # prove the certifier is live
 
    Pass 1 (source lint) scans OCaml sources for determinism/model
    hazards (see [Mincut_analysis.Lint]); accepted findings live in the
    [.mincut-lint-allow] file.  Pass 2 (deterministic replay) runs the
-   BFS message program, the exact pipeline and the 1-respecting
-   pipeline twice each on small workloads and diffs the full execution
-   audits — any hidden nondeterminism fails the run.  Exit status: 0
-   clean, 1 findings or replay divergence, 2 usage error. *)
+   BFS message program, the exact, approx and 1-respecting pipelines
+   and a warm-vs-cold serve pass twice each on small workloads and
+   diffs the full execution audits — any hidden nondeterminism fails
+   the run.  The [certify] subcommand drives the three-analyzer
+   certification suite ([Mincut_analysis.Certify]): shadow sanitizers,
+   span-tree invariant verification and asymptotic envelope fits.
+   Exit status: 0 clean, 1 findings or replay/certification failure,
+   2 usage error. *)
 
 open Cmdliner
 module Lint = Mincut_analysis.Lint
 module Replay = Mincut_analysis.Replay
+module Certify = Mincut_analysis.Certify
+module Lockcheck = Mincut_analysis.Lockcheck
 module Json = Mincut_util.Json
 module Rng = Mincut_util.Rng
 module Bitset = Mincut_util.Bitset
@@ -26,6 +34,8 @@ module Primitives = Mincut_congest.Primitives
 module Api = Mincut_core.Api
 module One_respect = Mincut_core.One_respect
 module Params = Mincut_core.Params
+module Service = Mincut_serve.Service
+module Request = Mincut_serve.Request
 
 let default_allow_file = ".mincut-lint-allow"
 
@@ -140,6 +150,34 @@ let replay_checks () =
               ~run:(fun () -> Api.one_respecting_cut ~params:Params.fast g tree)
               ~diff:diff_one_respect
             |> Result.map (fun _ -> ()) );
+        ( Printf.sprintf "approx/%s" wname,
+          fun () ->
+            Replay.check
+              ~run:(fun () ->
+                Api.min_cut ~params:Params.fast ~algorithm:(Api.Approx 0.5)
+                  ~seed:0 g)
+              ~diff:diff_summary
+            |> Result.map (fun _ -> ()) );
+        ( Printf.sprintf "serve-warm-cold/%s" wname,
+          fun () ->
+            (* one request through a fresh service, twice: the second
+               answer must come from the result cache and be certified
+               span-tree-bit-identical to the cold solve *)
+            let service = Service.create () in
+            let req = Request.make ~seed:0 g in
+            let cold = Service.solve service req in
+            let warm = Service.solve service req in
+            if not warm.Request.cached then
+              Error [ "second solve was not served from the cache" ]
+            else if cold.Request.cached then
+              Error [ "first solve claimed to be cached" ]
+            else begin
+              match
+                diff_summary cold.Request.summary warm.Request.summary
+              with
+              | [] -> Ok ()
+              | diffs -> Error diffs
+            end );
         ( Printf.sprintf "phase-structure/%s" wname,
           fun () ->
             let tree = Tree.of_edge_ids g ~root:0 (Mst_seq.kruskal g) in
@@ -162,11 +200,38 @@ let run_replay () =
 
 (* ---- reporting -------------------------------------------------------- *)
 
+let lockcheck_json () =
+  let kind_name = function
+    | Lockcheck.Reentrancy -> "reentrancy"
+    | Lockcheck.Order_inversion -> "order-inversion"
+  in
+  Json.List
+    (List.map
+       (fun (v : Lockcheck.violation) ->
+         Json.Obj
+           [
+             ("kind", Json.String (kind_name v.Lockcheck.kind));
+             ("domain", Json.Int v.Lockcheck.domain);
+             ("acquiring", Json.String v.Lockcheck.acquiring);
+             ("acquiring_order", Json.Int v.Lockcheck.acquiring_order);
+             ( "held",
+               Json.List
+                 (List.map
+                    (fun (name, rank) ->
+                      Json.Obj
+                        [
+                          ("lock", Json.String name); ("rank", Json.Int rank);
+                        ])
+                    v.Lockcheck.held) );
+           ])
+       (Lockcheck.violations ()))
+
 let report_json findings unused replays =
   Json.Obj
     [
       ("lint", Lint.to_json findings);
       ("allow_unused", Json.List (List.map (fun s -> Json.String s) unused));
+      ("lockcheck", lockcheck_json ());
       ( "replay",
         Json.List
           (List.map
@@ -239,6 +304,82 @@ let run paths allow_file json no_replay =
           else report_human findings unused replays;
           if findings = [] && List.for_all (fun r -> r.ok) replays then 0 else 1)
 
+(* ---- certify subcommand ----------------------------------------------- *)
+
+let report_certify_human (r : Certify.report) =
+  List.iter
+    (fun (c : Certify.check) ->
+      if c.Certify.ok then Format.printf "certify ok: %s@." c.Certify.name
+      else begin
+        Format.printf "certify FAILED: %s@." c.Certify.name;
+        List.iter (fun d -> Format.printf "  %s@." d) c.Certify.details
+      end)
+    r.Certify.checks;
+  let bad =
+    List.length (List.filter (fun (c : Certify.check) -> not c.Certify.ok) r.Certify.checks)
+  in
+  if bad = 0 then
+    Format.printf "mincut_lint certify: certified (%d checks)@."
+      (List.length r.Certify.checks)
+  else
+    Format.printf "mincut_lint certify: %d check%s failed@." bad
+      (if bad = 1 then "" else "s")
+
+let run_certify quick json slack inject =
+  let inject =
+    match inject with
+    | None -> Ok None
+    | Some name -> (
+        match Certify.defect_of_name name with
+        | Some d -> Ok (Some d)
+        | None -> Error name)
+  in
+  match inject with
+  | Error name ->
+      Printf.eprintf
+        "mincut_lint certify: unknown defect %S (expected order, span or \
+         payload)\n"
+        name;
+      2
+  | Ok inject ->
+      let r = Certify.run ~quick ?slack ?inject () in
+      if json then print_endline (Json.to_string (Certify.to_json r))
+      else report_certify_human r;
+      if r.Certify.ok then 0 else 1
+
+let certify_cmd =
+  let quick_arg =
+    let doc = "Shrink the scaling ladder (drop n = 128) — the CI form." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one machine-readable JSON report on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let slack_arg =
+    let doc =
+      "Multiplicative slack for the asymptotic envelope fits (default "
+      ^ string_of_float Mincut_analysis.Scaling.default_slack
+      ^ ")."
+    in
+    Arg.(value & opt (some float) None & info [ "slack" ] ~docv:"FACTOR" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Seed one deliberate defect (order, span or payload) and run only the \
+       analyzer that must catch it; the run then exits non-zero, proving \
+       the certifier is live."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"DEFECT" ~doc)
+  in
+  let doc =
+    "CONGEST-model certifier: shadow sanitizers, span-tree invariant \
+     verification, asymptotic envelope fits"
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc)
+    Term.(const run_certify $ quick_arg $ json_arg $ slack_arg $ inject_arg)
+
 let cmd =
   let paths_arg =
     let doc = "Files or directories to scan (default: lib bin)." in
@@ -263,8 +404,9 @@ let cmd =
     "static analysis for the mincut repo: determinism lint + CONGEST \
      conformance replay"
   in
-  Cmd.v
+  Cmd.group
+    ~default:Term.(const run $ paths_arg $ allow_arg $ json_arg $ no_replay_arg)
     (Cmd.info "mincut_lint" ~version:"1.0.0" ~doc)
-    Term.(const run $ paths_arg $ allow_arg $ json_arg $ no_replay_arg)
+    [ certify_cmd ]
 
 let () = exit (Cmd.eval' cmd)

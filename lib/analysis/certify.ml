@@ -1,0 +1,291 @@
+module Graph = Mincut_graph.Graph
+module Tree = Mincut_graph.Tree
+module Generators = Mincut_graph.Generators
+module Config = Mincut_congest.Config
+module Network = Mincut_congest.Network
+module Cost = Mincut_congest.Cost
+module Primitives = Mincut_congest.Primitives
+module Params = Mincut_core.Params
+module One_respect = Mincut_core.One_respect
+module Api = Mincut_core.Api
+module Rng = Mincut_util.Rng
+module Json = Mincut_util.Json
+
+type check = { name : string; ok : bool; details : string list }
+
+type report = { checks : check list; ok : bool }
+
+type defect = Order | Span | Payload
+
+let defect_name = function
+  | Order -> "order"
+  | Span -> "span"
+  | Payload -> "payload"
+
+let defect_of_name = function
+  | "order" -> Some Order
+  | "span" -> Some Span
+  | "payload" -> Some Payload
+  | _ -> None
+
+(* Same certification workloads as the replay harness: two regular
+   lattices plus a seeded random graph. *)
+let workloads () =
+  [
+    ("torus4", Generators.torus 4 4);
+    ("grid5", Generators.grid 5 5);
+    ("gnp24", Generators.gnp_connected ~rng:(Rng.create 12) 24 0.3);
+  ]
+
+(* ---- sanitize: shipped primitives under permuted delivery ---------- *)
+
+(* Run every shipped primitive with [Config.sanitize] set: each step
+   with a multi-message inbox is re-executed under adversarial inbox
+   orders inside the engine, so an order-dependent program raises. *)
+let sanitize_primitive_checks () =
+  let cfg = Config.sanitized Config.default in
+  let one (gname, g) =
+    let n = Graph.n g in
+    let tree = Tree.bfs_tree g ~root:0 in
+    let values = Array.init n (fun v -> (v * 7 mod 31) + 1) in
+    let items = Array.init n (fun v -> if v mod 3 = 0 then v else -1) in
+    let items = Array.of_list (List.filter (fun x -> x >= 0) (Array.to_list items)) in
+    let initial = Array.init n (fun v -> if v mod 4 = 0 then [ v ] else []) in
+    let progs =
+      [
+        ("bfs_tree", fun () -> ignore (Primitives.bfs_tree ~cfg g ~root:0));
+        ( "convergecast_sum",
+          fun () -> ignore (Primitives.convergecast_sum ~cfg g ~tree ~values) );
+        ( "broadcast_items",
+          fun () -> ignore (Primitives.broadcast_items ~cfg g ~tree ~items) );
+        ( "upcast_distinct",
+          fun () -> ignore (Primitives.upcast_distinct ~cfg g ~tree ~initial) );
+        ("flood_max", fun () -> ignore (Primitives.flood_max ~cfg g ~values));
+        ("flood_echo", fun () -> ignore (Primitives.flood_echo ~cfg g ~root:0));
+      ]
+    in
+    List.filter_map
+      (fun (pname, f) ->
+        match f () with
+        | () -> None
+        | exception Network.Model_violation v ->
+            Some
+              (Printf.sprintf "%s on %s: %s" pname gname
+                 (Network.violation_message v)))
+      progs
+  in
+  let details = List.concat_map one (workloads ()) in
+  {
+    name = "sanitize: primitives under permuted inboxes";
+    ok = details = [];
+    details;
+  }
+
+(* The probe-instrumented path: payload and state-footprint tracking on
+   the raw BFS program (payloads are single words). *)
+let sanitize_bfs_check () =
+  let one (gname, g) =
+    let r = Sanitize.run ~words:(fun _ -> 1) g (Primitives.bfs_program g ~root:0) in
+    List.map (fun line -> gname ^ ": " ^ line) (Sanitize.describe r)
+  in
+  let details = List.concat_map one (workloads ()) in
+  { name = "sanitize: bfs program payload tracking"; ok = details = []; details }
+
+(* ---- costcheck: span-tree laws over full runs ---------------------- *)
+
+let costcheck_summary_checks () =
+  let one (gname, g) =
+    let s = Api.min_cut g in
+    List.map
+      (fun e -> gname ^ ": " ^ Costcheck.describe e)
+      (Costcheck.check_tree s.Api.cost)
+  in
+  let details = List.concat_map one (workloads ()) in
+  { name = "costcheck: Api.min_cut span trees"; ok = details = []; details }
+
+let costcheck_one_respect_checks () =
+  let one (gname, g) =
+    let tree = Tree.bfs_tree g ~root:0 in
+    (* both parameter modes: real primitives exercise the executed-audit
+       law, fast mode the full scheduled-formula table *)
+    List.concat_map
+      (fun (pname, params) ->
+        let r = One_respect.run ~params g tree in
+        List.map
+          (fun e -> Printf.sprintf "%s (%s): %s" gname pname (Costcheck.describe e))
+          (Costcheck.check_one_respect ~params r))
+      [ ("real", Params.default); ("fast", Params.fast) ]
+  in
+  let details = List.concat_map one (workloads ()) in
+  {
+    name = "costcheck: one-respect formula laws";
+    ok = details = [];
+    details;
+  }
+
+(* ---- scaling ------------------------------------------------------- *)
+
+let scaling_check ~quick ~slack =
+  let r = Scaling.run ~quick ?slack () in
+  {
+    name = "scaling: asymptotic envelope fits";
+    ok = r.Scaling.ok;
+    details = Scaling.describe r;
+  }
+
+(* ---- seeded defects ------------------------------------------------ *)
+
+(* A deliberately order-dependent program: round-1 state is the inbox's
+   sender sequence verbatim, so any permutation of delivery changes the
+   marshalled state.  The sanitizer must catch it with (node, round). *)
+let order_dependent_program g =
+  Network.
+    {
+      initial = (fun _ -> []);
+      step =
+        (fun ~node ~round ~inbox st ->
+          if round = 0 then
+            ( st,
+              Array.to_list
+                (Array.map (fun (u, _) -> (u, node)) (Graph.adj g node)) )
+          else (List.map fst inbox, []));
+      halted = (fun st -> st <> []);
+    }
+
+let inject_order () =
+  let g = Generators.torus 4 4 in
+  let r = Sanitize.run ~words:(fun _ -> 1) g (order_dependent_program g) in
+  let details =
+    match r.Sanitize.order_dependence with
+    | Some (node, round) ->
+        [
+          Printf.sprintf
+            "caught: order dependence at node %d, round %d (defect injected \
+             on purpose — this check fails to prove the catch)"
+            node round;
+        ]
+    | None -> [ "MISSED: the sanitizer did not catch the order dependence" ]
+  in
+  (* the check fails either way: ok would require a clean report *)
+  { name = "inject: order-dependent program"; ok = r.Sanitize.ok; details }
+
+(* Mis-tag an Executed span: bump the first executed leaf's rounds so it
+   disagrees with its engine audit.  Costcheck must reject the tree. *)
+let rec bump_first_executed (s : Cost.span) =
+  match s.Cost.children with
+  | [] ->
+      if Cost.provenance_equal s.Cost.provenance Cost.Executed then
+        Some { s with Cost.rounds = s.Cost.rounds + 1 }
+      else None
+  | kids -> (
+      match bump_in_list kids with
+      | None -> None
+      | Some kids' -> Some { s with Cost.children = kids' })
+
+and bump_in_list = function
+  | [] -> None
+  | s :: rest -> (
+      match bump_first_executed s with
+      | Some s' -> Some (s' :: rest)
+      | None -> (
+          match bump_in_list rest with
+          | Some rest' -> Some (s :: rest')
+          | None -> None))
+
+let inject_span () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 12) 24 0.3 in
+  let tree = Tree.bfs_tree g ~root:0 in
+  let r = One_respect.run ~params:Params.default g tree in
+  match bump_in_list r.One_respect.cost.Cost.spans with
+  | None ->
+      {
+        name = "inject: mis-tagged executed span";
+        ok = false;
+        details = [ "no executed leaf found to tamper with" ];
+      }
+  | Some spans ->
+      let tampered = { r.One_respect.cost with Cost.spans } in
+      let errors = Costcheck.check_tree tampered in
+      let details =
+        match errors with
+        | [] -> [ "MISSED: costcheck accepted a mis-tagged executed span" ]
+        | es ->
+            List.map
+              (fun e -> "caught (defect injected on purpose): " ^ Costcheck.describe e)
+              es
+      in
+      { name = "inject: mis-tagged executed span"; ok = errors = []; details }
+
+(* A primitive "patched" to ship Θ(√n)-word payloads: legal under a
+   permissive engine budget, but far beyond the c·log n scaling the
+   model grants — the payload tracker must flag it. *)
+let fat_payload_program g =
+  let n = Graph.n g in
+  let payload = List.init (Params.sqrt_target ~n) (fun i -> i) in
+  Network.
+    {
+      initial = (fun _ -> false);
+      step =
+        (fun ~node ~round:_ ~inbox:_ sent ->
+          if sent then (sent, [])
+          else
+            ( true,
+              Array.to_list
+                (Array.map (fun (u, _) -> (u, payload)) (Graph.adj g node)) ));
+      halted = (fun sent -> sent);
+    }
+
+let inject_payload () =
+  let n = 64 in
+  let g = Generators.gnp_connected ~rng:(Rng.create 7) n 0.2 in
+  (* permissive engine budget so the oversized-message rule stays out of
+     the way: the *scaling* limit is what must catch this *)
+  let cfg = Config.with_budget 64 in
+  let limit = Sanitize.ceil_log2 n in
+  let r = Sanitize.run ~cfg ~limit ~words:List.length g (fat_payload_program g) in
+  let details =
+    match r.Sanitize.flags with
+    | [] -> [ "MISSED: no payload flag for a sqrt(n)-word message" ]
+    | f :: _ ->
+        [
+          Printf.sprintf
+            "caught: node %d round %d sent %d words against a %d-word log-n \
+             limit (defect injected on purpose)"
+            f.Sanitize.node f.Sanitize.round f.Sanitize.words f.Sanitize.limit;
+        ]
+  in
+  { name = "inject: sqrt(n)-word payloads"; ok = r.Sanitize.ok; details }
+
+(* ---- driver -------------------------------------------------------- *)
+
+let run ?(quick = false) ?slack ?inject () =
+  let checks =
+    match inject with
+    | Some Order -> [ inject_order () ]
+    | Some Span -> [ inject_span () ]
+    | Some Payload -> [ inject_payload () ]
+    | None ->
+        [
+          sanitize_primitive_checks ();
+          sanitize_bfs_check ();
+          costcheck_summary_checks ();
+          costcheck_one_respect_checks ();
+          scaling_check ~quick ~slack;
+        ]
+  in
+  { checks; ok = List.for_all (fun (c : check) -> c.ok) checks }
+
+let check_to_json c =
+  Json.Obj
+    [
+      ("name", Json.String c.name);
+      ("ok", Json.Bool c.ok);
+      ("details", Json.List (List.map (fun d -> Json.String d) c.details));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("checks", Json.List (List.map check_to_json r.checks));
+      ("ok", Json.Bool r.ok);
+    ]

@@ -16,6 +16,9 @@ let rules =
     ("unseeded-random", "Random.* bypasses the seeded Mincut_util.Rng");
     ("obj-magic", "Obj.* defeats the type system");
     ("catchall-exn", "try ... with _ -> swallows every exception");
+    ("bare-mutex", "direct Mutex.create outside Lockcheck bypasses rank checking");
+    ("float-equal", "( = ) on floats; use Float.equal or an epsilon test");
+    ("list-nth", "List.nth is O(n) per access; index an array instead");
   ]
 
 (* ---- lexer ------------------------------------------------------------ *)
@@ -25,7 +28,13 @@ let rules =
    {id|...|id} quoted strings, char literals vs. type variables.  Tokens
    are dotted longidents (keywords included) and operator runs. *)
 
-type token = { text : string; tline : int; tcol : int; is_ident : bool }
+type token = {
+  text : string;
+  tline : int;
+  tcol : int;
+  is_ident : bool;
+  is_float : bool;
+}
 
 type cursor = {
   src : string;
@@ -50,6 +59,8 @@ let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || 
 let is_ident_char ch = is_ident_start ch || (ch >= '0' && ch <= '9') || ch = '\''
 
 let is_op_char ch = String.contains "!$%&*+-/:<=>?@^|~." ch
+
+let is_digit ch = ch >= '0' && ch <= '9'
 
 let skip_escape c =
   (* after the backslash *)
@@ -133,6 +144,57 @@ let rec skip_comment c depth =
         advance c;
         skip_comment c depth
 
+(* Number literals, just precisely enough to tell floats from ints for
+   the float-equal rule: decimal/hex/octal/binary ints with
+   underscores, and floats with a dot and/or a decimal exponent.  The
+   returned flag is "this is a float literal". *)
+let lex_number c =
+  let start = c.pos in
+  let radix_prefix =
+    match (peek c 0, peek c 1) with
+    | Some '0', Some ('x' | 'X' | 'o' | 'O' | 'b' | 'B') -> true
+    | _ -> false
+  in
+  let hex =
+    match (peek c 0, peek c 1) with
+    | Some '0', Some ('x' | 'X') -> true
+    | _ -> false
+  in
+  if radix_prefix then begin
+    advance c;
+    advance c
+  end;
+  let digit ch =
+    is_digit ch || ch = '_'
+    || (hex && ((ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')))
+  in
+  let saw_dot = ref false and saw_exp = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek c 0 with
+    | Some ch when digit ch -> advance c
+    | Some '.' when (not !saw_dot) && (not !saw_exp) && not radix_prefix ->
+        saw_dot := true;
+        advance c
+    | Some ('e' | 'E') when (not hex) && not !saw_exp -> (
+        match peek c 1 with
+        | Some d when is_digit d ->
+            saw_exp := true;
+            advance c;
+            advance c
+        | Some ('+' | '-') -> (
+            match peek c 2 with
+            | Some d when is_digit d ->
+                saw_exp := true;
+                advance c;
+                advance c;
+                advance c
+            | _ -> continue := false)
+        | _ -> continue := false)
+    | _ -> continue := false
+  done;
+  (String.sub c.src start (c.pos - start), !saw_dot || !saw_exp)
+
 let char_literal_ahead c =
   (* at a single quote: distinguish 'x' / '\n' from the type variable 'a *)
   match peek c 1 with
@@ -143,7 +205,9 @@ let char_literal_ahead c =
 let tokenize src =
   let c = { src; pos = 0; line = 1; col = 0 } in
   let out = ref [] in
-  let emit text tline tcol is_ident = out := { text; tline; tcol; is_ident } :: !out in
+  let emit ?(is_float = false) text tline tcol is_ident =
+    out := { text; tline; tcol; is_ident; is_float } :: !out
+  in
   let len = String.length src in
   while c.pos < len do
     match (peek c 0, peek c 1) with
@@ -163,6 +227,10 @@ let tokenize src =
             skip_escape c
         | _ -> advance c);
         (match peek c 0 with Some '\'' -> advance c | _ -> ())
+    | Some ch, _ when is_digit ch ->
+        let tline = c.line and tcol = c.col in
+        let text, is_float = lex_number c in
+        emit ~is_float text tline tcol false
     | Some ch, _ when is_ident_start ch ->
         let tline = c.line and tcol = c.col in
         let start = c.pos in
@@ -214,6 +282,16 @@ let scan_source ~file src =
     findings := { file; line = t.tline; col = t.tcol; rule; message } :: !findings
   in
   let text i = if i >= 0 && i < n then toks.(i).text else "" in
+  let is_float i = i >= 0 && i < n && toks.(i).is_float in
+  (* [lhs = float] is also how let-bindings, record fields and optional
+     argument defaults spell initialization; only comparison positions
+     should fire float-equal *)
+  let binding_context i =
+    match text (i - 2) with
+    | "let" | "and" | "with" | "{" | ";" | "," | ":" | "<-" -> true
+    | "(" -> text (i - 3) = "?"
+    | _ -> false
+  in
   (* nearest enclosing [try]/[match]-ish construct, for catchall-exn *)
   let construct_stack = ref [] in
   for i = 0 to n - 1 do
@@ -251,11 +329,27 @@ let scan_source ~file src =
       (* dotted uses only: a bare [Obj] is a legitimate constructor name
          (e.g. [Json.Obj]) *)
       if has_prefix ~prefix:"Obj." name then
-        report t "obj-magic" "Obj.* defeats the type system; find a typed way"
+        report t "obj-magic" "Obj.* defeats the type system; find a typed way";
+      if name = "Mutex.create" then
+        report t "bare-mutex"
+          "direct Mutex.create bypasses the ranked Lockcheck discipline; \
+           create locks with Lockcheck.create ~name ~order";
+      if name = "List.nth" then
+        report t "list-nth"
+          "List.nth is O(n) per access and O(n^2) in loops; use an array or \
+           fold the list once"
     end
     else if t.text = "=" && text (i - 1) = "(" && text (i + 1) = ")" then
       report t "poly-equal"
         "polymorphic equality as a function value; use a typed equal"
+    else if
+      t.text = "="
+      && (is_float (i - 1) || is_float (i + 1))
+      && not (binding_context i)
+    then
+      report t "float-equal"
+        "( = ) on a float literal; use Float.equal, or compare against an \
+         epsilon when values are computed"
   done;
   List.rev !findings
 

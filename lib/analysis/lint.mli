@@ -21,6 +21,13 @@
     - {b catchall-exn}: [try ... with _ ->] — swallows [Out_of_memory],
       [Stack_overflow] and every programming error alike; match the
       exceptions actually thrown.
+    - {b bare-mutex}: direct [Mutex.create] outside [Lockcheck] — an
+      unranked lock is invisible to the deadlock-order checker; the two
+      legitimate sites (inside [Lockcheck] itself) are allowlisted.
+    - {b float-equal}: [( = )] against a float literal in comparison
+      position (bindings and record initializers are exempt) — use
+      [Float.equal] or an epsilon test.
+    - {b list-nth}: [List.nth] — O(n) per access, quadratic in loops.
 
     Findings can be suppressed via an allowlist file (see
     {!Allow.load}): one [rule path[:line]] entry per line, [#] comments.

@@ -1,0 +1,57 @@
+(** Shadow-execution sanitizer: adversarial order-dependence and
+    payload-growth checking for CONGEST programs.
+
+    The engine's sorted inbox delivery is an implementation convenience,
+    not a model guarantee: a correct CONGEST program must compute the
+    same states and messages under {e any} delivery order.  This
+    analyzer drives a program through {!Mincut_congest.Network.run} with
+    [Config.sanitize] set — every step with ≥ 2 inbox messages is
+    re-executed under reversed and deterministically shuffled inboxes
+    and byte-compared — and simultaneously hooks the engine's probe
+    callback to track per-message word counts and per-node state
+    footprints across rounds, flagging payloads that drift beyond the
+    word budget's c·log n scaling. *)
+
+type flag = {
+  node : int;
+  round : int;
+  words : int;  (** measured payload words *)
+  limit : int;  (** the c·log n limit it exceeded *)
+}
+
+type report = {
+  order_dependence : (int * int) option;
+      (** [(node, round)] provenance of the first divergence under a
+          permuted inbox, when one was caught *)
+  violation : string option;
+      (** any other model violation the run raised (rendered) *)
+  max_payload_words : int;  (** largest payload observed by the probe *)
+  max_state_bytes : int;    (** largest marshalled node state *)
+  payload_limit : int;      (** the scaling limit applied *)
+  flags : flag list;        (** payloads beyond [payload_limit] *)
+  ok : bool;                (** no divergence, no violation, no flags *)
+}
+
+val ceil_log2 : int -> int
+(** ⌈log₂ n⌉, floored at 1 — the model's words-per-message scale. *)
+
+val default_limit : int -> int
+(** [default_limit n] — the payload scaling limit in words:
+    [max Config.default.words_per_message ⌈log₂ n⌉]. *)
+
+val run :
+  ?cfg:Mincut_congest.Config.t ->
+  ?limit:int ->
+  words:('msg -> int) ->
+  Mincut_graph.Graph.t ->
+  ('state, 'msg) Mincut_congest.Network.program ->
+  report
+(** Run the program to completion under sanitize mode and the tracking
+    probe.  Never raises on model violations — they are folded into the
+    report.  [limit] overrides the payload scaling limit ([cfg]'s word
+    budget still bounds each message unless raised by the caller). *)
+
+val to_json : report -> Mincut_util.Json.t
+
+val describe : report -> string list
+(** Human-readable one-line findings (empty when [ok]). *)

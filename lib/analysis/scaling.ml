@@ -1,0 +1,163 @@
+module Tree = Mincut_graph.Tree
+module Generators = Mincut_graph.Generators
+module Primitives = Mincut_congest.Primitives
+module Network = Mincut_congest.Network
+module Cost = Mincut_congest.Cost
+module One_respect = Mincut_core.One_respect
+module Params = Mincut_core.Params
+module Rng = Mincut_util.Rng
+module Json = Mincut_util.Json
+
+type point = { n : int; measured : float; envelope : float }
+
+type fit = {
+  quantity : string;
+  envelope_name : string;
+  points : point list;
+  min_ratio : float;
+  max_ratio : float;
+  ok : bool;
+}
+
+type report = { slack : float; fits : fit list; ok : bool }
+
+(* Supercritical Erdős–Rényi: p = 8·ln n / n keeps the graph connected
+   w.h.p. with diameter O(log n) — the family every n-sweep in the repo
+   uses, because the √n term must dominate the D term for the fits to
+   mean anything.  Seeded per point so ladders are reproducible. *)
+let supercritical ~seed n =
+  let rng = Rng.create seed in
+  let p = 8.0 *. log (float_of_int n) /. float_of_int n in
+  Generators.gnp_connected ~rng n (Float.min 1.0 p)
+
+let ladder ~quick = if quick then [ 16; 32; 64 ] else [ 16; 32; 64; 128 ]
+
+let default_slack = 2.5
+
+let log2f n = log (float_of_int (max 2 n)) /. log 2.0
+
+(* Largest max_words over every engine audit hanging off the tree: the
+   measured per-message payload, in words. *)
+let max_audit_words (t : Cost.t) =
+  let best = ref 0 in
+  let rec walk (s : Cost.span) =
+    (match s.Cost.audit with
+    | Some a -> if a.Network.max_words > !best then best := a.Network.max_words
+    | None -> ());
+    List.iter walk s.Cost.children
+  in
+  List.iter walk t.Cost.spans;
+  !best
+
+(* One ladder point: everything measured off a single seeded graph. *)
+type sample = {
+  s_n : int;
+  bfs_rounds : int;
+  bfs_envelope : int;      (* height + 2 *)
+  upcast_rounds : int;
+  upcast_envelope : int;   (* height + ⌈√n⌉ items *)
+  or_rounds : int;
+  or_envelope : int;       (* ⌈√n⌉·log* n + height *)
+  or_words : int;          (* max payload over the run's engine audits *)
+}
+
+let sample ~params ~seed n =
+  let g = supercritical ~seed:(seed + n) n in
+  let root = 0 in
+  let tree, _cost, bfs_audit = Primitives.bfs_tree_audited g ~root in
+  let h = Tree.height tree in
+  let k = Params.sqrt_target ~n in
+  let initial = Array.make n [] in
+  for v = 0 to k - 1 do
+    initial.(v) <- [ v ]
+  done;
+  let _items, _ucost, up_audit =
+    Primitives.upcast_distinct_audited g ~tree ~initial
+  in
+  let r = One_respect.run ~params g tree in
+  {
+    s_n = n;
+    bfs_rounds = bfs_audit.Network.rounds;
+    bfs_envelope = h + 2;
+    upcast_rounds = up_audit.Network.rounds;
+    upcast_envelope = h + k;
+    or_rounds = r.One_respect.cost.Cost.rounds;
+    or_envelope = (k * Params.log_star n) + h;
+    or_words = max_audit_words r.One_respect.cost;
+  }
+
+let fit ~slack ~quantity ~envelope_name points =
+  let ratios =
+    List.map (fun p -> p.measured /. Float.max 1.0 p.envelope) points
+  in
+  let min_ratio = List.fold_left Float.min infinity ratios in
+  let max_ratio = List.fold_left Float.max 0.0 ratios in
+  (* The growth law holds when the measured/envelope ratio is flat
+     across the ladder — within a multiplicative [slack].  An absolute
+     threshold would bake in engine constants; a ratio-of-ratios test
+     only asserts the *shape*. *)
+  let ok = max_ratio <= slack *. min_ratio in
+  { quantity; envelope_name; points; min_ratio; max_ratio; ok }
+
+let run ?(params = Params.default) ?(quick = false) ?(slack = default_slack)
+    ?(seed = 9000) () =
+  let samples = List.map (sample ~params ~seed) (ladder ~quick) in
+  let pts f g =
+    List.map
+      (fun s ->
+        { n = s.s_n; measured = float_of_int (f s); envelope = g s })
+      samples
+  in
+  let fits =
+    [
+      fit ~slack ~quantity:"bfs rounds" ~envelope_name:"D + 2"
+        (pts (fun s -> s.bfs_rounds) (fun s -> float_of_int s.bfs_envelope));
+      fit ~slack ~quantity:"upcast rounds (sqrt n items)"
+        ~envelope_name:"sqrt n + D"
+        (pts (fun s -> s.upcast_rounds) (fun s -> float_of_int s.upcast_envelope));
+      fit ~slack ~quantity:"one-respect rounds"
+        ~envelope_name:"sqrt n * log* n + D"
+        (pts (fun s -> s.or_rounds) (fun s -> float_of_int s.or_envelope));
+      fit ~slack ~quantity:"one-respect payload words" ~envelope_name:"log2 n"
+        (pts (fun s -> s.or_words) (fun s -> log2f s.s_n));
+    ]
+  in
+  { slack; fits; ok = List.for_all (fun (f : fit) -> f.ok) fits }
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("n", Json.Int p.n);
+      ("measured", Json.Float p.measured);
+      ("envelope", Json.Float p.envelope);
+    ]
+
+let fit_to_json f =
+  Json.Obj
+    [
+      ("quantity", Json.String f.quantity);
+      ("envelope", Json.String f.envelope_name);
+      ("points", Json.List (List.map point_to_json f.points));
+      ("min_ratio", Json.Float f.min_ratio);
+      ("max_ratio", Json.Float f.max_ratio);
+      ("ok", Json.Bool f.ok);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("slack", Json.Float r.slack);
+      ("fits", Json.List (List.map fit_to_json r.fits));
+      ("ok", Json.Bool r.ok);
+    ]
+
+let describe r =
+  List.map
+    (fun (f : fit) ->
+      Printf.sprintf "%s %s vs %s: ratio %.2f..%.2f over %s (slack %.1f)"
+        (if f.ok then "ok  " else "FAIL")
+        f.quantity f.envelope_name f.min_ratio f.max_ratio
+        (String.concat ","
+           (List.map (fun p -> string_of_int p.n) f.points))
+        r.slack)
+    r.fits

@@ -1,0 +1,51 @@
+(** Empirical asymptotic fitter: does the measured cost actually grow
+    like the claimed envelope?
+
+    The paper's headline is Õ(√n + D) rounds with O(log n)-bit
+    messages.  Unit tests pin exact round counts at fixed sizes; this
+    analyzer checks the {e shape}: it runs the audited primitives and
+    the one-respecting-cut algorithm over a seeded supercritical-gnp
+    ladder (n = 2^k, diameter O(log n)) and, for each quantity, fits
+    the measured value against its envelope.  The fit passes when the
+    measured/envelope ratio stays flat across the ladder — within a
+    multiplicative [slack] — so super-envelope growth (e.g. a primitive
+    regressing to Θ(n) or payloads growing past c·log n) fails with a
+    per-quantity report, while engine constants cancel out. *)
+
+type point = { n : int; measured : float; envelope : float }
+
+type fit = {
+  quantity : string;
+  envelope_name : string;  (** e.g. ["sqrt n + D"] *)
+  points : point list;
+  min_ratio : float;       (** min measured/envelope over the ladder *)
+  max_ratio : float;
+  ok : bool;               (** max_ratio ≤ slack · min_ratio *)
+}
+
+type report = { slack : float; fits : fit list; ok : bool }
+
+val supercritical : seed:int -> int -> Mincut_graph.Graph.t
+(** Seeded connected G(n, 8·ln n / n): the diameter-O(log n) family
+    every n-sweep uses ([bench/workloads] delegates here). *)
+
+val default_slack : float
+(** 2.5 — wide enough for small-n noise, tight enough that one extra
+    √n factor across a 16→128 ladder blows through it. *)
+
+val run :
+  ?params:Mincut_core.Params.t ->
+  ?quick:bool ->
+  ?slack:float ->
+  ?seed:int ->
+  unit ->
+  report
+(** Fits four quantities: BFS rounds vs D+2, a √n-item upcast vs
+    √n + D, one-respecting-cut rounds vs √n·log* n + D, and its max
+    engine-audited payload vs log₂ n.  [quick] drops the largest ladder
+    point (n = 128) for CI. *)
+
+val to_json : report -> Mincut_util.Json.t
+
+val describe : report -> string list
+(** One line per fit, pass or fail. *)

@@ -2,10 +2,16 @@ type t = {
   words_per_message : int;
   max_rounds : int;
   strict_edge_words : int option;
+  sanitize : bool;
 }
 
 let default =
-  { words_per_message = 4; max_rounds = 2_000_000; strict_edge_words = None }
+  {
+    words_per_message = 4;
+    max_rounds = 2_000_000;
+    strict_edge_words = None;
+    sanitize = false;
+  }
 
 let with_budget words = { default with words_per_message = words }
 
@@ -13,6 +19,8 @@ let strict ?budget t =
   let cap = match budget with Some b -> b | None -> t.words_per_message in
   if cap <= 0 then invalid_arg "Config.strict: budget must be positive";
   { t with strict_edge_words = Some cap }
+
+let sanitized t = { t with sanitize = true }
 
 let bits_per_word ~n =
   let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in

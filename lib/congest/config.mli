@@ -20,6 +20,17 @@ type t = {
           discipline stated per edge rather than per message, so it
           stays violated-or-not even under future relaxations of the
           one-message-per-edge rule. *)
+  sanitize : bool;
+      (** shadow-execution mode: the engine re-runs every step whose
+          inbox holds ≥ 2 messages with adversarially permuted inbox
+          orders and byte-compares the resulting state and outbox
+          against the primary execution.  A divergence raises
+          {!Network.Model_violation} with kind [Order_dependence] —
+          the program's behaviour depends on a delivery order the
+          CONGEST model does not promise (the engine's sorted inboxes
+          are a convenience, not a model guarantee).  Requires node
+          states and payloads to be marshalable plain data with
+          canonical representations (see [Mincut_util.Intset]). *)
 }
 
 val default : t
@@ -31,6 +42,9 @@ val strict : ?budget:int -> t -> t
 (** [strict t] enables the per-edge-per-round aggregate word cap;
     [budget] overrides the cap (default [t.words_per_message]).
     Raises [Invalid_argument] on a non-positive budget. *)
+
+val sanitized : t -> t
+(** [sanitized t] enables shadow-execution order-dependence checking. *)
 
 val bits_per_word : n:int -> int
 (** ⌈log₂ n⌉ + 1, the "O(log n) bits" a word stands for; used by the

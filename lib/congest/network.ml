@@ -5,6 +5,7 @@ type violation_kind =
   | Non_neighbor_send
   | Duplicate_send
   | Edge_overload
+  | Order_dependence
   | Watchdog
 
 type violation = {
@@ -23,6 +24,7 @@ let kind_name = function
   | Non_neighbor_send -> "non-neighbor-send"
   | Duplicate_send -> "duplicate-send"
   | Edge_overload -> "edge-overload"
+  | Order_dependence -> "order-dependence"
   | Watchdog -> "watchdog"
 
 let violation_message v =
@@ -43,6 +45,11 @@ let violation_message v =
         "round %d: edge %s->%s carried %s words, over the strict per-edge cap %s"
         v.round (endpoint v.sender) (endpoint v.receiver) (endpoint v.words)
         (endpoint v.budget)
+  | Order_dependence ->
+      Printf.sprintf
+        "round %d: node %s diverged under a permuted inbox order \
+         (state/outbox depends on delivery order)"
+        v.round (endpoint v.sender)
   | Watchdog ->
       Printf.sprintf "watchdog: exceeded %s rounds" (endpoint v.budget)
 
@@ -61,6 +68,14 @@ type ('state, 'msg) program = {
   halted : 'state -> bool;
 }
 
+type ('state, 'msg) probe =
+  node:int ->
+  round:int ->
+  inbox:(int * 'msg) list ->
+  'state ->
+  (int * 'msg) list ->
+  unit
+
 type audit = {
   rounds : int;
   total_messages : int;
@@ -70,6 +85,55 @@ type audit = {
   max_edge_words : int;
   messages_per_round : int array;
 }
+
+(* Deterministic Fisher-Yates driven by an inline 48-bit LCG, seeded
+   per (node, round) so the adversarial permutation the sanitizer tries
+   is reproducible and differs across steps.  The engine must not
+   consume any global randomness: two runs of the same program must
+   permute identically. *)
+let shuffle ~seed xs =
+  let a = Array.of_list xs in
+  let state = ref ((seed * 2654435761) land max_int) in
+  let next () =
+    state := ((!state * 25214903917) + 11) land max_int;
+    !state
+  in
+  for i = Array.length a - 1 downto 1 do
+    let j = next () mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Shadow execution: re-run one step with adversarially permuted inbox
+   orders and demand a byte-identical outcome.  States are compared by
+   Marshal image (hence the canonical-representation requirement
+   documented on [Config.sanitize]); outboxes are compared as multisets
+   by sorting on (destination, payload bytes); the halted predicate is
+   compared directly since it gates future stepping. *)
+let shadow_check ~prog ~node ~round ~inbox st state' outs =
+  let canon outs =
+    List.sort
+      (fun (d, p) (d', p') ->
+        let c = Int.compare d d' in
+        if c <> 0 then c else String.compare p p')
+      (List.map (fun (d, p) -> (d, Marshal.to_string p [])) outs)
+  in
+  let base_state = Marshal.to_string state' [] in
+  let base_outs = canon outs in
+  let base_halted = prog.halted state' in
+  let replay inbox' =
+    let s2, o2 = prog.step ~node ~round ~inbox:inbox' st in
+    if
+      (not (String.equal (Marshal.to_string s2 []) base_state))
+      || (not (List.equal (fun (d, p) (d', p') -> d = d' && String.equal p p')
+                 (canon o2) base_outs))
+      || not (Bool.equal (prog.halted s2) base_halted)
+    then violate Order_dependence ~round ~sender:node
+  in
+  replay (List.rev inbox);
+  replay (shuffle ~seed:((node * 1_000_003) + round) inbox)
 
 (* Shared driver.  [stop] decides termination given (round, all_halted,
    traffic_pending).
@@ -92,7 +156,7 @@ type audit = {
      stamping the sender's CSR row into two scratch arrays (token-
      versioned, so stamps too need no reset): O(deg) per *sending* node
      per round, then O(1) per message. *)
-let drive ?(cfg = Config.default) ~words ~stop g prog =
+let drive ?(cfg = Config.default) ?probe ~words ~stop g prog =
   let n = Graph.n g in
   let off = Graph.csr_offsets g in
   let nbr = Graph.csr_neighbors g in
@@ -133,7 +197,16 @@ let drive ?(cfg = Config.default) ~words ~stop g prog =
     for v = n - 1 downto 0 do
       if not halted.(v) then begin
         let inbox = cur.(v) in
-        let state', outs = prog.step ~node:v ~round:r ~inbox states.(v) in
+        let st0 = states.(v) in
+        let state', outs = prog.step ~node:v ~round:r ~inbox st0 in
+        if cfg.Config.sanitize then begin
+          match inbox with
+          | [] | [ _ ] -> ()
+          | _ -> shadow_check ~prog ~node:v ~round:r ~inbox st0 state' outs
+        end;
+        (match probe with
+        | None -> ()
+        | Some f -> f ~node:v ~round:r ~inbox state' outs);
         states.(v) <- state';
         if prog.halted state' then begin
           halted.(v) <- true;
@@ -205,15 +278,19 @@ let drive ?(cfg = Config.default) ~words ~stop g prog =
   in
   (states, audit, !last_traffic_round)
 
-let run ?cfg ~words g prog =
+let run ?cfg ?probe ~words g prog =
   let states, audit, _ =
-    drive ?cfg ~words ~stop:(fun ~round:_ ~all_halted -> all_halted) g prog
+    drive ?cfg ?probe ~words
+      ~stop:(fun ~round:_ ~all_halted -> all_halted)
+      g prog
   in
   (states, audit)
 
-let run_bounded ?cfg ~words ~rounds g prog =
+let run_bounded ?cfg ?probe ~words ~rounds g prog =
   let states, audit, last_traffic =
-    drive ?cfg ~words ~stop:(fun ~round ~all_halted:_ -> round >= rounds) g prog
+    drive ?cfg ?probe ~words
+      ~stop:(fun ~round ~all_halted:_ -> round >= rounds)
+      g prog
   in
   (* effective completion time: the delivery round of the last message *)
   (states, { audit with rounds = (if last_traffic < 0 then 0 else last_traffic + 2) })

@@ -23,6 +23,8 @@ type violation_kind =
                            in one round *)
   | Edge_overload      (** strict mode: aggregate words on one directed
                            edge in one round exceeded the cap *)
+  | Order_dependence   (** sanitize mode: a step's outcome changed under
+                           a permuted inbox delivery order *)
   | Watchdog           (** the configured round limit was reached *)
 
 type violation = {
@@ -81,17 +83,37 @@ type audit = {
           executed round (length = rounds) *)
 }
 
+type ('state, 'msg) probe =
+  node:int ->
+  round:int ->
+  inbox:(int * 'msg) list ->
+  'state ->
+  (int * 'msg) list ->
+  unit
+(** Instrumentation callback: invoked once per executed step with the
+    delivered inbox, the {e post-step} state, and the outbox, before
+    any model-discipline checks run on the outbox.  The sanitizer's
+    footprint/word-growth tracker hooks in here; the callback must not
+    mutate the network (it only observes). *)
+
 val run :
   ?cfg:Config.t ->
+  ?probe:('state, 'msg) probe ->
   words:('msg -> int) ->
   Mincut_graph.Graph.t ->
   ('state, 'msg) program ->
   'state array * audit
 (** Run until all nodes halt.  Raises [Model_violation] if the watchdog
-    round limit is reached. *)
+    round limit is reached.  With [cfg.sanitize] set, every step whose
+    inbox holds ≥ 2 messages is additionally re-executed under a
+    reversed and a deterministically shuffled inbox; any divergence in
+    marshalled state, outbox multiset, or halted flag raises
+    [Model_violation] with kind {!Order_dependence} carrying the node
+    and round. *)
 
 val run_bounded :
   ?cfg:Config.t ->
+  ?probe:('state, 'msg) probe ->
   words:('msg -> int) ->
   rounds:int ->
   Mincut_graph.Graph.t ->

@@ -33,9 +33,16 @@ let bfs_program g ~root : (bfs_state, int) Network.program =
         else if st.dist = -1 then
           match inbox with
           | [] -> (st, [])
-          | (p, d) :: _ ->
+          | first :: rest ->
               (* all offers this round carry the same distance; adopt
-                 the smallest sender id and flood onward immediately *)
+                 the smallest sender id (an explicit fold, so the choice
+                 holds under any delivery order, not just the engine's
+                 sorted inboxes) and flood onward immediately *)
+              let p, d =
+                List.fold_left
+                  (fun (bp, bd) (p, d) -> if p < bp then (p, d) else (bp, bd))
+                  first rest
+              in
               ( { dist = d + 1; parent = p; done_ = true },
                 List.map (fun u -> (u, d + 1)) (distinct_neighbors g node) )
         else (st, []))
@@ -148,7 +155,11 @@ let broadcast_items ?cfg g ~tree ~items =
 (* Pipelined upcast of distinct items                                  *)
 (* ------------------------------------------------------------------ *)
 
-module ISet = Set.Make (Int)
+(* Canonical sets (strictly-increasing lists, [Mincut_util.Intset])
+   rather than [Set.Make]: the sanitizer byte-compares marshalled
+   states, and AVL shapes depend on insertion order while these do
+   not. *)
+module ISet = Mincut_util.Intset
 
 type up_state = { known : ISet.t; sent_up : ISet.t }
 
@@ -166,11 +177,11 @@ let upcast_distinct_audited ?cfg g ~tree ~initial =
           if node = root then ({ st with known }, [])
           else
             let unsent = ISet.diff known st.sent_up in
-            if ISet.is_empty unsent then ({ st with known }, [])
-            else
-              let item = ISet.min_elt unsent in
-              ( { known; sent_up = ISet.add item st.sent_up },
-                [ (tree.Tree.parent.(node), item) ] ))
+            match ISet.min_elt_opt unsent with
+            | None -> ({ st with known }, [])
+            | Some item ->
+                ( { known; sent_up = ISet.add item st.sent_up },
+                  [ (tree.Tree.parent.(node), item) ] ))
         ;
       halted = (fun _ -> false);
     }

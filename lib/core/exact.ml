@@ -46,6 +46,10 @@ let run ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
           lca_case2 = 0;
           lca_case3 = 0;
           max_lca_exchange = 0;
+          max_child_frag_load = 0;
+          max_ancestor_items = 0;
+          max_f_items = 0;
+          case2_lca_count = 0;
         };
     }
   else begin

@@ -16,6 +16,10 @@ type stats = {
   lca_case2 : int;
   lca_case3 : int;
   max_lca_exchange : int;
+  max_child_frag_load : int;
+  max_ancestor_items : int;
+  max_f_items : int;
+  case2_lca_count : int;
 }
 
 type result = {
@@ -194,7 +198,7 @@ let frag_wave ~cfg g tree (fr : Fragments.t) values =
     }
   in
   let states, audit = Network.run ~cfg ~words:(fun _ -> 2) g prog in
-  (Array.map (fun st -> st.acc) states, audit.Network.rounds)
+  (Array.map (fun st -> st.acc) states, audit)
 
 (* ------------------------------------------------------------------ *)
 (* Real pipelined multi-item upcast within fragments (Step 2a)         *)
@@ -204,7 +208,11 @@ let frag_wave ~cfg g tree (fr : Fragments.t) values =
    directly below it; every id must flow up to the fragment root, one
    item per tree edge per round (the paper's "upcast the list of child
    fragments ... O(√n) time" schedule, executed for real). *)
-module ISet = Set.Make (Int)
+(* Canonical sets ([Mincut_util.Intset], strictly-increasing lists):
+   the engine's sanitize mode byte-compares marshalled states, so state
+   components must have one representation per value — [Set.Make] AVL
+   shapes depend on insertion order and would trip it. *)
+module ISet = Mincut_util.Intset
 
 type multi_up = { known : ISet.t; sent_up : ISet.t }
 
@@ -225,10 +233,10 @@ let frag_multi_upcast ~cfg g tree (fr : Fragments.t) initial_items =
           if p = -1 then ({ st with known }, [])
           else
             let unsent = ISet.diff known st.sent_up in
-            if ISet.is_empty unsent then ({ st with known }, [])
-            else
-              let item = ISet.min_elt unsent in
-              ({ known; sent_up = ISet.add item st.sent_up }, [ (p, item) ]))
+            match ISet.min_elt_opt unsent with
+            | None -> ({ st with known }, [])
+            | Some item ->
+                ({ known; sent_up = ISet.add item st.sent_up }, [ (p, item) ]))
         ;
       halted = (fun _ -> false);
     }
@@ -244,7 +252,7 @@ let frag_multi_upcast ~cfg g tree (fr : Fragments.t) initial_items =
   let states, audit =
     Network.run_bounded ~cfg ~words:(fun _ -> 1) ~rounds:(max 1 bound) g prog
   in
-  (Array.map (fun st -> st.known) states, audit.Network.rounds)
+  (Array.map (fun st -> st.known) states, audit)
 
 (* ------------------------------------------------------------------ *)
 (* Real pipelined ancestor-id downcast within fragments (Step 2b)      *)
@@ -267,19 +275,19 @@ let frag_ancestor_downcast ~cfg g tree (fr : Fragments.t) =
   in
   let prog : (multi_down, int) Network.program =
     {
-      initial = (fun v -> { got = ISet.singleton v; forwarded = ISet.empty });
+      initial = (fun v -> { got = ISet.add v ISet.empty; forwarded = ISet.empty });
       step =
         (fun ~node ~round:_ ~inbox st ->
           let got = List.fold_left (fun a (_, x) -> ISet.add x a) st.got inbox in
           let pending = ISet.diff got st.forwarded in
           match in_frag_children node with
           | [] -> ({ got; forwarded = got }, [])
-          | kids ->
-              if ISet.is_empty pending then ({ st with got }, [])
-              else
-                let item = ISet.min_elt pending in
-                ( { got; forwarded = ISet.add item st.forwarded },
-                  List.map (fun c -> (c, item)) kids ))
+          | kids -> (
+              match ISet.min_elt_opt pending with
+              | None -> ({ st with got }, [])
+              | Some item ->
+                  ( { got; forwarded = ISet.add item st.forwarded },
+                    List.map (fun c -> (c, item)) kids )))
         ;
       halted = (fun _ -> false);
     }
@@ -298,7 +306,7 @@ let frag_ancestor_downcast ~cfg g tree (fr : Fragments.t) =
     in
     assert (ISet.equal states.(v).got (chain ISet.empty v))
   done;
-  audit.Network.rounds
+  audit
 
 (* ------------------------------------------------------------------ *)
 (* The full Theorem 2.1 pipeline                                       *)
@@ -372,7 +380,7 @@ let run ?(params = Params.default) ?target g tree =
           let attach = tree.Tree.parent.(r) in
           if attach <> -1 then initial_items.(attach) <- j :: initial_items.(attach))
         fr.Fragments.roots;
-      let known, rounds = frag_multi_upcast ~cfg:params.Params.congest g tree fr initial_items in
+      let known, up_audit = frag_multi_upcast ~cfg:params.Params.congest g tree fr initial_items in
       Array.iteri
         (fun i r ->
           let expected = List.sort Int.compare fr.Fragments.frag_children.(i) in
@@ -383,7 +391,8 @@ let run ?(params = Params.default) ?target g tree =
           in
           assert (List.sort Int.compare got = expected))
         fr.Fragments.roots;
-      Cost.executed "step2: upcast child-fragment lists (real)" rounds
+      Cost.executed ~audit:up_audit "step2: upcast child-fragment lists (real)"
+        up_audit.Mincut_congest.Network.rounds
     end
     else
       Cost.scheduled "step2: upcast child-fragment lists (F computation)"
@@ -409,10 +418,14 @@ let run ?(params = Params.default) ?target g tree =
     if params.Params.run_real_primitives then begin
       (* the within-fragment part runs for real (and is verified); the
          one-fragment extension into the parent fragment follows the
-         same schedule and is appended analytically *)
-      let real = frag_ancestor_downcast ~cfg:params.Params.congest g tree fr in
-      Cost.executed "step2: downcast ancestor ids (real + parent-fragment extension)"
-        (real + maxh + 1)
+         same schedule and is appended as its own scheduled span, so the
+         executed leaf's rounds stay equal to its engine audit's *)
+      let down_audit = frag_ancestor_downcast ~cfg:params.Params.congest g tree fr in
+      Cost.( ++ )
+        (Cost.executed ~audit:down_audit "step2: downcast ancestor ids (real)"
+           down_audit.Mincut_congest.Network.rounds)
+        (Cost.scheduled "step2: downcast parent-fragment extension (scheduled)"
+           (maxh + 1))
     end
     else
       Cost.scheduled "step2: downcast ancestor ids (A computation)"
@@ -449,9 +462,10 @@ let run ?(params = Params.default) ?target g tree =
     if params.Params.run_real_primitives then begin
       (* run the within-fragment wave for real on the engine: every
          fragment converges in parallel (they are vertex-disjoint) *)
-      let real, rounds = frag_wave ~cfg:params.Params.congest g tree fr delta in
+      let real, wave_audit = frag_wave ~cfg:params.Params.congest g tree fr delta in
       assert (real = s_delta);
-      Cost.executed "step3: within-fragment delta sums (real)" rounds
+      Cost.executed ~audit:wave_audit "step3: within-fragment delta sums (real)"
+        wave_audit.Mincut_congest.Network.rounds
     end
     else
       Cost.scheduled "step3: within-fragment delta sums"
@@ -574,5 +588,9 @@ let run ?(params = Params.default) ?target g tree =
         lca_case2 = case_counts.(1);
         lca_case3 = case_counts.(2);
         max_lca_exchange = !max_exchange;
+        max_child_frag_load = max_load_a;
+        max_ancestor_items = !max_a;
+        max_f_items;
+        case2_lca_count = m2;
       };
   }

@@ -33,7 +33,17 @@ type stats = {
   lca_case2 : int;
   lca_case3 : int;            (** how many edges hit each LCA case *)
   max_lca_exchange : int;     (** worst per-edge exchange length (Step 5) *)
+  max_child_frag_load : int;  (** Step 2a: max per-edge load of the
+                                  child-fragment-list upcast *)
+  max_ancestor_items : int;   (** Step 2b: max |A(v)| — ancestor-list
+                                  downcast per-edge load *)
+  max_f_items : int;          (** Step 2c: max |F(root)| items downcast *)
+  case2_lca_count : int;      (** Step 5: distinct case-2 LCA nodes (the
+                                  type-(i) message count) *)
 }
+(** Every scheduled/charged span formula in {!run}'s cost tree is a
+    closed form over these measured quantities (plus [Params]) — the
+    certifier ([Mincut_analysis.Costcheck]) recomputes each one. *)
 
 type result = {
   cuts : int array;       (** C(v↓) for every node — "at the end of our

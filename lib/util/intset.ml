@@ -1,0 +1,62 @@
+(* Canonical integer sets as strictly-increasing lists.
+
+   [Stdlib.Set] trees are semantically canonical but not
+   representation-canonical: inserting the same elements in different
+   orders yields different AVL shapes, so two equal sets can have
+   different [Marshal] images.  The CONGEST sanitizer certifies
+   order-independence by byte-comparing marshalled node states, which
+   requires every state component to have exactly one representation
+   per value.  A sorted duplicate-free list is that representation:
+   same elements, same bytes, whatever the insertion order. *)
+
+type t = int list
+
+let empty : t = []
+
+let is_empty t = t = []
+
+let rec add x t =
+  match t with
+  | [] -> [ x ]
+  | y :: rest ->
+      if x < y then x :: t else if x = y then t else y :: add x rest
+
+let rec mem x = function
+  | [] -> false
+  | y :: rest -> if x < y then false else x = y || mem x rest
+
+let of_list xs = List.sort_uniq Int.compare xs
+
+let elements t = t
+
+let cardinal = List.length
+
+let min_elt_opt = function [] -> None | x :: _ -> Some x
+
+(* elements of [a] not in [b]; both strictly increasing *)
+let diff a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> []
+    | _, [] -> a
+    | x :: a', y :: b' ->
+        if x < y then x :: go a' b
+        else if x = y then go a' b'
+        else go a b'
+  in
+  go a b
+
+let union a b =
+  let rec go a b =
+    match (a, b) with
+    | [], t | t, [] -> t
+    | x :: a', y :: b' ->
+        if x < y then x :: go a' b
+        else if x > y then y :: go a b'
+        else x :: go a' b'
+  in
+  go a b
+
+let equal a b = List.equal Int.equal a b
+
+let fold f t acc = List.fold_left (fun acc x -> f x acc) acc t

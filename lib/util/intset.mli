@@ -1,0 +1,43 @@
+(** Canonical integer sets: strictly-increasing duplicate-free lists.
+
+    Unlike [Stdlib.Set] (whose AVL shape depends on insertion order),
+    every value here has exactly one in-memory representation, so
+    structural equality, [Marshal] images and hashes of containing
+    states are insertion-order independent.  The CONGEST sanitizer
+    ({!Mincut_congest.Config.sanitize}) relies on this: node states
+    built from permuted inboxes must be byte-identical, not merely
+    semantically equal.
+
+    Operations are O(cardinal); intended for the small per-node sets
+    CONGEST programs carry (pipelined item buffers of O(√n) ids). *)
+
+type t = private int list
+(** The [private] view lets consumers pattern-match and iterate
+    without being able to construct a non-canonical value. *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val add : int -> t -> t
+
+val mem : int -> t -> bool
+
+val of_list : int list -> t
+
+val elements : t -> int list
+(** Strictly increasing. *)
+
+val cardinal : t -> int
+
+val min_elt_opt : t -> int option
+
+val diff : t -> t -> t
+(** [diff a b] — elements of [a] not in [b]. *)
+
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)

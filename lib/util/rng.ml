@@ -52,8 +52,8 @@ let geometric t p =
 
 let binomial t n p =
   assert (n >= 0 && p >= 0.0 && p <= 1.0);
-  if p = 0.0 || n = 0 then 0
-  else if p = 1.0 then n
+  if Float.equal p 0.0 || n = 0 then 0
+  else if Float.equal p 1.0 then n
   else if p > 0.5 then n - (let q = 1.0 -. p in
                             (* mirror to keep the skip-sampling loop short *)
                             let rec count acc pos =

@@ -88,6 +88,25 @@ let test_lint_allowlist () =
       check_bool "bad line rejected" true
         (Result.is_error (Lint.Allow.of_lines [ "only-a-rule" ]))
 
+let test_lint_new_rules () =
+  check_bool "bare mutex" true
+    (rules_of "let m = Mutex.create ()" = [ "bare-mutex" ]);
+  check_bool "list nth" true
+    (rules_of "let x = List.nth xs 3" = [ "list-nth" ]);
+  check_bool "float equal" true
+    (rules_of "let b = x = 1.0" = [ "float-equal" ]);
+  check_bool "float equal, literal on the left" true
+    (rules_of "let b = 0.5 = y" = [ "float-equal" ]);
+  (* binding contexts are not comparisons *)
+  check_bool "let binding not flagged" true (rules_of "let slack = 2.5" = []);
+  check_bool "record field init not flagged" true
+    (rules_of "let r = { slack = 2.5; b = 1 }" = []);
+  check_bool "optional arg default not flagged" true
+    (rules_of "let f ?(slack = 2.5) () = slack" = []);
+  check_bool "Float.equal is the fix, not a finding" true
+    (rules_of "let b = Float.equal x 1.0" = []);
+  check_bool "int equality untouched" true (rules_of "let b = x = 10" = [])
+
 (* ---- replay ----------------------------------------------------------- *)
 
 let test_replay_deterministic_program () =
@@ -237,6 +256,7 @@ let suite =
     tc "lint: comments/strings/definitions don't trip" test_lint_no_false_positives;
     tc "lint: JSON report" test_lint_json;
     tc "lint: allowlist filters and reports stale entries" test_lint_allowlist;
+    tc "lint: bare-mutex, list-nth, float-equal rules" test_lint_new_rules;
     tc "replay: deterministic program passes" test_replay_deterministic_program;
     tc "replay: hidden global state detected" test_replay_catches_nondeterminism;
     tc "replay: audit differ names fields" test_replay_diff_audits_fields;

@@ -21,4 +21,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
       ("analysis", Test_analysis.suite);
+      ("certify", Test_certify.suite);
     ]
