@@ -22,9 +22,13 @@ module Network = Mincut_congest.Network
 module Reference = Mincut_congest.Network_reference
 module Primitives = Mincut_congest.Primitives
 module Replay = Mincut_analysis.Replay
+module Scaling = Mincut_analysis.Scaling
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
 module Cost = Mincut_congest.Cost
+module Residency = Mincut_store.Residency
+module Metrics = Mincut_serve.Metrics
+module Store_metrics = Mincut_serve.Store_metrics
 
 (* CI smoke mode: fewer iterations, same assertions. *)
 let quick = ref false
@@ -118,10 +122,15 @@ let bench_parallel ~solves g =
   if not identical then
     failwith "sim: parallel exact pipeline diverged from sequential";
   let speedup = seq_ms /. par_ms in
+  let host_cores = Domain.recommended_domain_count () in
   Printf.printf
     "  parallel exact: %d solves, workers 1: %.1f ms, workers 4: %.1f ms \
-     => %.2fx, bit-identical=%b\n%!"
-    solves seq_ms par_ms speedup identical;
+     => %.2fx, bit-identical=%b (host cores: %d)\n%!"
+    solves seq_ms par_ms speedup identical host_cores;
+  if host_cores <= 1 then
+    Printf.printf
+      "  WARNING: host reports 1 core; speedup_par_over_seq measures \
+       scheduling overhead, not parallelism\n%!";
   Json.Obj
     [
       ("solves", Json.Int solves);
@@ -129,8 +138,69 @@ let bench_parallel ~solves g =
       ("seq_ms", Json.Float seq_ms);
       ("par_ms", Json.Float par_ms);
       ("speedup_par_over_seq", Json.Float speedup);
+      ("speedup_meaningful", Json.Bool (host_cores > 1));
       ("bit_identical", Json.Bool identical);
-      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+      ("host_cores", Json.Int host_cores);
+    ]
+
+(* The chunked-store n-ladder: stream-generate torus stores (up to
+   n > 10⁵ in full mode), traverse them chunk-at-a-time under a
+   quarter-working-set budget, and record both the scale measurements
+   and the residency counters.  Instruments go through the serving
+   layer's Metrics registry, so the artifact also proves the
+   store→Metrics export path end to end.  Every point must evict — a
+   fully-resident "ladder" measures nothing about the store. *)
+let bench_store_ladder () =
+  let registry = Metrics.create () in
+  let instruments = Store_metrics.instruments registry in
+  let sizes = Scaling.store_ladder ~quick:!quick in
+  Printf.printf "sim: chunked-store scale ladder (%s, scratch %s)\n%!"
+    (if !quick then "quick" else "full")
+    Scaling.default_scratch;
+  let points =
+    List.map
+      (fun nreq ->
+        let t0 = Unix.gettimeofday () in
+        match Scaling.store_sample ~instruments ~seed:9000 nreq with
+        | Error e -> failwith (Printf.sprintf "sim: store ladder n=%d: %s" nreq e)
+        | Ok s ->
+            let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            let st = s.Scaling.st_stats in
+            if st.Residency.evictions = 0 then
+              failwith
+                (Printf.sprintf
+                   "sim: store ladder n=%d: no evictions under a \
+                    quarter-working-set budget"
+                   s.Scaling.st_n);
+            Printf.printf
+              "  n=%-7d chunks=%-3d bfs=%-4d upcast=%-4d charged=%-7d \
+               frags=%-4d  hits=%d misses=%d evictions=%d resident=%d/%dB  \
+               (%.0f ms)\n%!"
+              s.Scaling.st_n s.Scaling.st_num_chunks s.Scaling.st_bfs_rounds
+              s.Scaling.st_upcast_rounds s.Scaling.st_or_rounds
+              s.Scaling.st_fragments st.Residency.hits st.Residency.misses
+              st.Residency.evictions st.Residency.bytes_resident
+              st.Residency.budget ms;
+            (s, ms))
+      sizes
+  in
+  if (not !quick) && not (List.exists (fun (s, _) -> s.Scaling.st_n >= 100_000) points)
+  then failwith "sim: full store ladder is missing its n >= 1e5 point";
+  let report = Scaling.fit_store (List.map fst points) in
+  List.iter (fun line -> Printf.printf "  %s\n%!" line) (Scaling.describe report);
+  if not report.Scaling.ok then failwith "sim: store ladder envelope fits failed";
+  Json.Obj
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (s, ms) ->
+               match Scaling.store_sample_to_json s with
+               | Json.Obj fields -> Json.Obj (fields @ [ ("ms", Json.Float ms) ])
+               | j -> j)
+             points) );
+      ("fits", Scaling.to_json report);
+      ("metrics", Metrics.to_json (Metrics.snapshot registry));
     ]
 
 (* Per-phase round profile of one exact solve per workload: the
@@ -164,6 +234,7 @@ let run () =
     List.fold_left (fun acc (w, s, _) -> if w = "gnp24" then s else acc) 0.0 rows
   in
   let parallel = bench_parallel ~solves (Generators.gnp_connected ~rng:(Rng.create 12) 24 0.3) in
+  let ladder = bench_store_ladder () in
   let json =
     Json.Obj
       [
@@ -172,12 +243,22 @@ let run () =
         ("drivers", Json.List (List.map (fun (_, _, j) -> j) rows));
         ("gnp24_speedup_flat_over_reference", Json.Float gnp_speedup);
         ("parallel_exact", parallel);
+        ("store_ladder", ladder);
         ("phase_profiles", Json.List (List.map phase_profile (workloads ())));
       ]
   in
+  let write path json =
+    let oc = open_out path in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    close_out oc
+  in
   let path = "BENCH_sim.json" in
-  let oc = open_out path in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s (gnp24 flat-vs-reference speedup: %.2fx)\n%!" path gnp_speedup
+  write path json;
+  (* the ladder section also stands alone, so CI can upload it as its
+     own artifact without dragging the engine microbenchmarks along *)
+  write "BENCH_sim_ladder.json" ladder;
+  Printf.printf
+    "wrote %s and BENCH_sim_ladder.json (gnp24 flat-vs-reference speedup: \
+     %.2fx)\n%!"
+    path gnp_speedup

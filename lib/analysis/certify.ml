@@ -133,6 +133,33 @@ let scaling_check ~quick ~slack =
     details = Scaling.describe r;
   }
 
+(* The chunked-store ladder: same fitter, opposite regime (torus,
+   D = Θ(√n)) at sizes the engine can't execute.  Besides the envelope
+   fits, each point must actually have exercised eviction — a ladder
+   that fit everything while resident defeats its own purpose. *)
+let store_scaling_check ~quick ~slack =
+  let name = "scaling: large-n store ladder" in
+  match Scaling.store_samples ~quick () with
+  | Error e -> { name; ok = false; details = [ e ] }
+  | Ok samples ->
+      let r = Scaling.fit_store ?slack samples in
+      let starving =
+        List.filter_map
+          (fun (s : Scaling.store_sample) ->
+            if s.Scaling.st_stats.Mincut_store.Residency.evictions > 0 then None
+            else
+              Some
+                (Printf.sprintf
+                   "n=%d: no evictions under a quarter-working-set budget"
+                   s.Scaling.st_n))
+          samples
+      in
+      {
+        name;
+        ok = r.Scaling.ok && starving = [];
+        details = Scaling.describe r @ starving;
+      }
+
 (* ---- seeded defects ------------------------------------------------ *)
 
 (* A deliberately order-dependent program: round-1 state is the inbox's
@@ -271,6 +298,7 @@ let run ?(quick = false) ?slack ?inject () =
           costcheck_summary_checks ();
           costcheck_one_respect_checks ();
           scaling_check ~quick ~slack;
+          store_scaling_check ~quick ~slack;
         ]
   in
   { checks; ok = List.for_all (fun (c : check) -> c.ok) checks }

@@ -21,3 +21,38 @@ let kp_mst_rounds t ~n ~diameter =
 let kp_partition_rounds = kp_mst_rounds
 
 let sqrt_target ~n = isqrt_ceil n
+
+(* Sum of One_respect.run's analytic schedules (its fast mode), with the
+   run-measured edge loads replaced by their structural maxima: every
+   tree-wide pipelined sweep carries at most O(k) items and every
+   within-fragment wave at most h+1, so the charge is an upper schedule
+   of any actual run over the same fragment geometry. *)
+let one_respect_charged_rounds t ~n ~height ~fragments ~max_frag_height =
+  let d = height in
+  let k = fragments in
+  let h = max_frag_height in
+  kp_partition_rounds t ~n ~diameter:d
+  (* BFS backbone *)
+  + (d + 1)
+  (* step1: fragment id agreement; broadcast the k-1 T_F edges *)
+  + (2 * (h + 1))
+  + (2 * (d + k))
+  (* step2: child-fragment upcast (≤ k items); ancestor downcast
+     (|A(v)| ≤ 2(h+1)); F(u) downcast (≤ k fragments) *)
+  + (h + k)
+  + ((2 * h) + (2 * (h + 1)))
+  + ((2 * h) + k)
+  (* step3: within-fragment delta wave; broadcast delta(F_i) *)
+  + (h + 1)
+  + (2 * (d + k))
+  (* step4: local detection; merging nodes + T'_F edges (≤ 2k items) *)
+  + 1
+  + (2 * (d + (2 * k)))
+  (* step5: per-edge LCA exchange (≤ 2(h+1) items); type-(i) counts;
+     type-(ii) counts; rho_down via the delta_down machinery *)
+  + (1 + (2 * (h + 1)))
+  + (2 * (d + k))
+  + ((2 * h) + 1)
+  + ((h + 1) + (2 * (d + k)))
+  (* finish: global min convergecast + broadcast *)
+  + (2 * (d + 1))

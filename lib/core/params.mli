@@ -37,3 +37,14 @@ val kp_partition_rounds : t -> n:int -> diameter:int -> int
 
 val sqrt_target : n:int -> int
 (** ⌈√n⌉ — the fragment height threshold of Step 1. *)
+
+val one_respect_charged_rounds :
+  t -> n:int -> height:int -> fragments:int -> max_frag_height:int -> int
+(** Charged schedule for one full Theorem 2.1 pass over a BFS tree of
+    height [height] partitioned into [fragments] fragments of height at
+    most [max_frag_height]: the sum of [One_respect.run]'s analytic
+    spans (its fast mode) with every run-measured edge load replaced by
+    its structural maximum.  This is what scale-ladder sizes charge when
+    the graph is too large to execute the pipeline — Θ(√n·log* n + D)
+    when the fragment geometry meets the KP contract.  The in-memory
+    fast mode is tested to stay under this charge point-for-point. *)

@@ -1,0 +1,40 @@
+module Rng = Mincut_util.Rng
+
+let gnp ~rng ~n ~p ~weight ~emit =
+  if n < 1 || p < 0.0 || p > 1.0 then invalid_arg "Edge_stream.gnp: bad n or p";
+  if p > 0.0 then begin
+    (* Enumerate the C(n,2) potential edges implicitly and jump between
+       successes with geometric skips; identical draw order to the
+       materializing [Generators.gnp]. *)
+    let total = n * (n - 1) / 2 in
+    let pos = ref (-1) in
+    let unrank k =
+      (* invert k = u*n - u*(u+1)/2 + (v - u - 1); linear scan per row kept
+         amortized O(1) by carrying the row start *)
+      let rec find u start =
+        let row = n - 1 - u in
+        if k < start + row then (u, u + 1 + (k - start)) else find (u + 1) (start + row)
+      in
+      find 0 0
+    in
+    let continue = ref true in
+    while !continue do
+      let skip = if p >= 1.0 then 0 else Rng.geometric rng p in
+      pos := !pos + 1 + skip;
+      if !pos >= total then continue := false
+      else begin
+        let u, v = unrank !pos in
+        emit u v (weight ())
+      end
+    done
+  end
+
+let torus ~rows ~cols ~weight ~emit =
+  if rows < 3 || cols < 3 then invalid_arg "Edge_stream.torus: need rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      emit (id r c) (id r ((c + 1) mod cols)) (weight ());
+      emit (id r c) (id ((r + 1) mod rows) c) (weight ())
+    done
+  done

@@ -1,0 +1,33 @@
+(** Streaming graph generators: emit edges one at a time, never
+    materializing the edge list.
+
+    The in-memory generators in {!Generators} build a [(u, v, w) list]
+    and hand it to [Graph.create] — fine up to the n ≈ 10²–10³ graphs
+    the solvers run on, hopeless for the 10⁵–10⁷-node scale ladder the
+    chunked store ingests.  This module produces the same seeded edge
+    sequences through an [emit] callback, so a bulk loader can bucket
+    edges straight into chunk files with O(1) memory per edge.
+
+    {!Generators.gnp} delegates here, so a streamed G(n, p) and a
+    materialized one built from the same [Rng.t] state contain exactly
+    the same edges in the same order. *)
+
+val gnp :
+  rng:Mincut_util.Rng.t ->
+  n:int ->
+  p:float ->
+  weight:(unit -> int) ->
+  emit:(int -> int -> int -> unit) ->
+  unit
+(** Erdős–Rényi G(n, p) by geometric skips over the C(n,2) implicit pair
+    enumeration: O(m) expected time and O(1) memory.  [emit u v w] is
+    called once per sampled edge with [u < v] and [w = weight ()]
+    (callers thread weight draws through the same rng; [weight] is
+    evaluated exactly once per emitted edge, after the skip draw).
+    Requires [n >= 1] and [0 <= p <= 1]. *)
+
+val torus :
+  rows:int -> cols:int -> weight:(unit -> int) -> emit:(int -> int -> int -> unit) -> unit
+(** The [rows × cols] torus lattice (each node linked to its right and
+    down neighbor, wrapping), emitted row-major.  Requires both
+    dimensions ≥ 3, as in {!Generators.torus}. *)

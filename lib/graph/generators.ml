@@ -105,34 +105,14 @@ let barbell k =
 
 let gnp ~rng ?weights n p =
   assert (n >= 1 && p >= 0.0 && p <= 1.0);
-  if p <= 0.0 then Graph.create ~n []
-  else begin
-    (* Enumerate the C(n,2) potential edges implicitly and jump between
-       successes with geometric skips. *)
-    let total = n * (n - 1) / 2 in
-    let acc = ref [] in
-    let pos = ref (-1) in
-    let unrank k =
-      (* invert k = u*n - u*(u+1)/2 + (v - u - 1); linear scan per row kept
-         amortized O(1) by carrying the row start *)
-      let rec find u start =
-        let row = n - 1 - u in
-        if k < start + row then (u, u + 1 + (k - start)) else find (u + 1) (start + row)
-      in
-      find 0 0
-    in
-    let continue = ref true in
-    while !continue do
-      let skip = if p >= 1.0 then 0 else Rng.geometric rng p in
-      pos := !pos + 1 + skip;
-      if !pos >= total then continue := false
-      else begin
-        let u, v = unrank !pos in
-        acc := (u, v, draw_weight ?weights ~rng ()) :: !acc
-      end
-    done;
-    Graph.create ~n !acc
-  end
+  (* Collect the streamed edge sequence; prepending keeps the edge-id
+     order (and hence every seeded replay) identical to the historical
+     in-place loop this function used before Edge_stream existed. *)
+  let acc = ref [] in
+  Edge_stream.gnp ~rng ~n ~p
+    ~weight:(fun () -> draw_weight ?weights ~rng ())
+    ~emit:(fun u v w -> acc := (u, v, w) :: !acc);
+  Graph.create ~n !acc
 
 let gnp_connected ~rng ?weights n p =
   let rec go tries =

@@ -1,0 +1,11 @@
+let instruments m =
+  let hits = Metrics.counter m "store.chunk_hits" in
+  let misses = Metrics.counter m "store.chunk_misses" in
+  let evictions = Metrics.counter m "store.chunk_evictions" in
+  let resident = Metrics.gauge m "store.bytes_resident" in
+  {
+    Mincut_store.Residency.on_hit = (fun () -> Metrics.incr hits);
+    on_miss = (fun () -> Metrics.incr misses);
+    on_eviction = (fun () -> Metrics.incr evictions);
+    on_bytes_resident = (fun b -> Metrics.set resident (float_of_int b));
+  }

@@ -1,0 +1,12 @@
+(** Bridge from the chunked store's residency instruments to the
+    serving-layer {!Metrics} registry.
+
+    [Mincut_store] cannot depend on the serving layer, so its residency
+    manager exposes a callback record instead of naming the registry;
+    this adapter is the one place the two meet.  Counters are monotone
+    ([store.chunk_hits] / [store.chunk_misses] / [store.chunk_evictions]);
+    residency is the instantaneous [store.bytes_resident] gauge.  One
+    registry may instrument several stores — totals aggregate. *)
+
+val instruments : Metrics.t -> Mincut_store.Residency.instruments
+(** Get-or-create the four instruments on [m] and wire them up. *)

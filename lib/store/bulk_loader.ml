@@ -1,0 +1,217 @@
+module Hash = Mincut_util.Hash
+
+let max_open_buckets = 64
+
+type t = {
+  dir : string;
+  n : int;
+  bits : int;
+  num_chunks : int;
+  chunks_per_group : int;
+  num_groups : int;
+  channels : out_channel option array;  (* opened lazily per group *)
+  record : Bytes.t;  (* 12-byte scratch *)
+  mutable m : int;
+  mutable total_weight : int;
+  mutable finalized : bool;
+}
+
+let bucket_path t gid = Filename.concat t.dir (Printf.sprintf "bucket_%04d.tmp" gid)
+
+let mkdir_p dir =
+  let rec ensure d =
+    if not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  ensure dir
+
+let create ~dir ~n ?chunk_bits () =
+  if n < 1 then Error "Bulk_loader.create: n must be >= 1"
+  else begin
+    let bits =
+      match chunk_bits with Some b -> b | None -> Chunk.default_bits ~n
+    in
+    if bits < Chunk.min_bits || bits > Chunk.max_bits then
+      Error
+        (Printf.sprintf "Bulk_loader.create: chunk_bits %d outside %d..%d" bits
+           Chunk.min_bits Chunk.max_bits)
+    else begin
+      match mkdir_p dir with
+      | () ->
+          let num_chunks = Chunk.num_chunks ~bits ~n in
+          let chunks_per_group =
+            (num_chunks + max_open_buckets - 1) / max_open_buckets
+          in
+          let num_groups = (num_chunks + chunks_per_group - 1) / chunks_per_group in
+          Ok
+            {
+              dir;
+              n;
+              bits;
+              num_chunks;
+              chunks_per_group;
+              num_groups;
+              channels = Array.make num_groups None;
+              record = Bytes.create 12;
+              m = 0;
+              total_weight = 0;
+              finalized = false;
+            }
+      | exception Unix.Unix_error (err, _, arg) ->
+          Error (Printf.sprintf "Bulk_loader.create: mkdir %s: %s" arg (Unix.error_message err))
+      | exception Sys_error msg -> Error ("Bulk_loader.create: " ^ msg)
+    end
+  end
+
+let chunk_bits t = t.bits
+
+let group_of t cid = cid / t.chunks_per_group
+
+let channel t gid =
+  match t.channels.(gid) with
+  | Some oc -> oc
+  | None ->
+      let oc = open_out_bin (bucket_path t gid) in
+      t.channels.(gid) <- Some oc;
+      oc
+
+let put_record t oc ~src ~dst ~w =
+  Bytes.set_int32_le t.record 0 (Int32.of_int src);
+  Bytes.set_int32_le t.record 4 (Int32.of_int dst);
+  Bytes.set_int32_le t.record 8 (Int32.of_int w);
+  output_bytes oc t.record
+
+let add_edge t ~u ~v ~w =
+  if t.finalized then invalid_arg "Bulk_loader.add_edge: already finalized";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg
+      (Printf.sprintf "Bulk_loader.add_edge: endpoint out of range (%d,%d), n=%d"
+         u v t.n);
+  if u = v then invalid_arg "Bulk_loader.add_edge: self loop";
+  if w <= 0 then invalid_arg "Bulk_loader.add_edge: non-positive weight";
+  if w > 0xFFFFFFFF then invalid_arg "Bulk_loader.add_edge: weight exceeds 32 bits";
+  (* one directed record per endpoint's chunk *)
+  put_record t (channel t (group_of t (Chunk.chunk_of ~bits:t.bits u))) ~src:u ~dst:v ~w;
+  put_record t (channel t (group_of t (Chunk.chunk_of ~bits:t.bits v))) ~src:v ~dst:u ~w;
+  t.m <- t.m + 1;
+  t.total_weight <- t.total_weight + w
+
+(* Build every chunk of one bucket group from its record file.  Records
+   are replayed into per-chunk counting sorts; each CSR row is then
+   ordered by (neighbor, weight), the canonical slot order. *)
+let build_group t ~hash gid =
+  let first_cid = gid * t.chunks_per_group in
+  let last_cid = min (t.num_chunks - 1) (first_cid + t.chunks_per_group - 1) in
+  let records =
+    if Sys.file_exists (bucket_path t gid) then begin
+      let ic = open_in_bin (bucket_path t gid) in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    end
+    else ""
+  in
+  let nrec = String.length records / 12 in
+  let buf = Bytes.unsafe_of_string records in
+  let get i = Int32.to_int (Bytes.get_int32_le buf i) in
+  let rec build cid errors =
+    if cid > last_cid then errors
+    else begin
+      let base = cid lsl t.bits in
+      let count = Chunk.count_of ~bits:t.bits ~n:t.n ~cid in
+      let deg = Array.make count 0 in
+      for r = 0 to nrec - 1 do
+        let src = get (12 * r) in
+        if Chunk.chunk_of ~bits:t.bits src = cid then
+          deg.(src - base) <- deg.(src - base) + 1
+      done;
+      let off = Array.make (count + 1) 0 in
+      for i = 0 to count - 1 do
+        off.(i + 1) <- off.(i) + deg.(i)
+      done;
+      let slots = off.(count) in
+      let nbr = Array.make slots 0 in
+      let wgt = Array.make slots 0 in
+      let fill = Array.make count 0 in
+      for r = 0 to nrec - 1 do
+        let src = get (12 * r) in
+        if Chunk.chunk_of ~bits:t.bits src = cid then begin
+          let i = src - base in
+          let s = off.(i) + fill.(i) in
+          nbr.(s) <- get ((12 * r) + 4);
+          wgt.(s) <- get ((12 * r) + 8);
+          fill.(i) <- fill.(i) + 1
+        end
+      done;
+      (* canonical row order: by neighbor, parallel edges by weight *)
+      for i = 0 to count - 1 do
+        let lo = off.(i) and hi = off.(i + 1) in
+        let row = Array.init (hi - lo) (fun s -> (nbr.(lo + s), wgt.(lo + s))) in
+        Array.sort
+          (fun (a, aw) (b, bw) ->
+            match Int.compare a b with 0 -> Int.compare aw bw | c -> c)
+          row;
+        Array.iteri
+          (fun s (b, bw) ->
+            nbr.(lo + s) <- b;
+            wgt.(lo + s) <- bw)
+          row
+      done;
+      (* fold the canonical triple stream (u < v ascending) into the hash *)
+      for i = 0 to count - 1 do
+        let u = base + i in
+        for s = off.(i) to off.(i + 1) - 1 do
+          if nbr.(s) > u then begin
+            Hash.add_int hash u;
+            Hash.add_int hash nbr.(s);
+            Hash.add_int hash wgt.(s)
+          end
+        done
+      done;
+      let chunk = { Chunk.cid; base; count; off; nbr; wgt } in
+      match Chunk_io.write ~dir:t.dir chunk with
+      | Ok () -> build (cid + 1) errors
+      | Error e -> build (cid + 1) (Chunk_io.error_message e :: errors)
+    end
+  in
+  let errors = build first_cid [] in
+  (try Sys.remove (bucket_path t gid) with Sys_error _ -> ());
+  errors
+
+let finalize t =
+  if t.finalized then Error "Bulk_loader.finalize: already finalized"
+  else begin
+    t.finalized <- true;
+    Array.iteri
+      (fun gid oc ->
+        match oc with
+        | Some oc ->
+            close_out oc;
+            t.channels.(gid) <- None
+        | None -> ())
+      t.channels;
+    let hash = Hash.create () in
+    Hash.add_int hash t.n;
+    match
+      List.concat_map
+        (fun gid -> build_group t ~hash gid)
+        (List.init t.num_groups (fun g -> g))
+    with
+    | [] ->
+        let manifest =
+          {
+            Chunk_io.chunk_bits = t.bits;
+            n = t.n;
+            m = t.m;
+            total_weight = t.total_weight;
+            num_chunks = t.num_chunks;
+            hash = Hash.value hash;
+          }
+        in
+        Result.map_error Chunk_io.error_message
+          (Result.map (fun () -> manifest) (Chunk_io.write_manifest ~dir:t.dir manifest))
+    | errors -> Error (String.concat "; " errors)
+    | exception Sys_error msg -> Error ("Bulk_loader.finalize: " ^ msg)
+  end

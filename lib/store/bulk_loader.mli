@@ -1,0 +1,35 @@
+(** Streaming bulk loader: edges in, chunk files out.
+
+    The loader is the write path of the store.  Feed it [(u, v, w)]
+    edges one at a time (typically from {!Mincut_graph.Edge_stream});
+    it appends each edge as two 12-byte directed records to on-disk
+    bucket files — one bucket per group of consecutive chunks, capped
+    at 64 open files — so no edge list is ever materialized in memory.
+    [finalize] then builds each chunk's CSR slice from its bucket
+    (counting sort by local node, rows sorted by (neighbor, weight)),
+    writes the versioned chunk files, folds the canonical structural
+    hash (identical recipe to [Graph_key.structural_hash], so warm
+    cache keys match in-memory solves), and commits the manifest last.
+
+    Peak memory is one bucket group's records, ≈ 2m / num_groups
+    directed entries — the knob that keeps 10⁶⁺-edge loads flat. *)
+
+type t
+
+val create : dir:string -> n:int -> ?chunk_bits:int -> unit -> (t, string) result
+(** Start a load into [dir] (created when missing) for nodes
+    [0 .. n-1].  [chunk_bits] defaults to {!Chunk.default_bits}.
+    Requires [n >= 1]. *)
+
+val chunk_bits : t -> int
+
+val add_edge : t -> u:int -> v:int -> w:int -> unit
+(** Raises [Invalid_argument] on out-of-range endpoints, self loops or
+    non-positive weights — the same contract as [Graph.create].
+    Parallel edges are kept. *)
+
+val finalize : t -> (Chunk_io.manifest, string) result
+(** Build and write every chunk plus the manifest; the loader cannot be
+    used afterwards.  The manifest write is the commit point: a
+    directory without one is an aborted load and [Chunked_graph.open_store]
+    refuses it. *)

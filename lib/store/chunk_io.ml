@@ -1,0 +1,226 @@
+module Crc32 = Mincut_util.Crc32
+module Json = Mincut_util.Json
+module Hash = Mincut_util.Hash
+
+let format_version = 1
+
+let magic = "MCNK"
+
+let header_bytes = 24
+
+type error =
+  | Io of string
+  | Truncated of { path : string; expected : int; got : int }
+  | Bad_magic of { path : string; magic : string }
+  | Bad_version of { path : string; version : int }
+  | Crc_mismatch of { path : string; stored : int; computed : int }
+  | Bad_field of { path : string; field : string }
+
+let error_message = function
+  | Io msg -> "store i/o error: " ^ msg
+  | Truncated { path; expected; got } ->
+      Printf.sprintf "%s: truncated chunk file (expected %d bytes, got %d)" path
+        expected got
+  | Bad_magic { path; magic } ->
+      Printf.sprintf "%s: not a chunk file (magic %S)" path magic
+  | Bad_version { path; version } ->
+      Printf.sprintf "%s: unsupported chunk format version %d (this build reads %d)"
+        path version format_version
+  | Crc_mismatch { path; stored; computed } ->
+      Printf.sprintf "%s: CRC mismatch (stored %08x, computed %08x) — chunk is corrupt"
+        path stored computed
+  | Bad_field { path; field } ->
+      Printf.sprintf "%s: inconsistent chunk field %s" path field
+
+let chunk_filename ~cid = Printf.sprintf "chunk_%06d.mck" cid
+
+let manifest_filename = "manifest.json"
+
+(* ---- atomic file replacement ----------------------------------------- *)
+
+(* Write the whole content to [path ^ ".tmp"] and rename over [path]:
+   rename within one directory is atomic on POSIX, so readers observe
+   either the previous file or the complete new one. *)
+let replace_file ~path content =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Io msg)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> Ok content
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Io (path ^ ": unexpected end of file"))
+
+(* ---- chunk encoding --------------------------------------------------- *)
+
+let u32_max = 0xFFFFFFFF
+
+let put_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land u32_max
+
+let write ~dir (c : Chunk.t) =
+  let slots = Array.length c.Chunk.nbr in
+  let payload_words = c.Chunk.count + 1 + (2 * slots) in
+  let buf = Bytes.create (header_bytes + (4 * payload_words)) in
+  Bytes.blit_string magic 0 buf 0 4;
+  Bytes.set_uint16_le buf 4 format_version;
+  Bytes.set_uint16_le buf 6 0;
+  put_u32 buf 8 c.Chunk.cid;
+  put_u32 buf 12 c.Chunk.count;
+  put_u32 buf 16 slots;
+  let pos = ref header_bytes in
+  let put_array a =
+    Array.iter
+      (fun v ->
+        put_u32 buf !pos v;
+        pos := !pos + 4)
+      a
+  in
+  put_array c.Chunk.off;
+  put_array c.Chunk.nbr;
+  put_array c.Chunk.wgt;
+  let crc = Crc32.bytes buf ~pos:header_bytes ~len:(4 * payload_words) in
+  put_u32 buf 20 crc;
+  let field_ok =
+    c.Chunk.cid <= u32_max && c.Chunk.count <= u32_max && slots <= u32_max
+    && Array.for_all (fun v -> v >= 0 && v <= u32_max) c.Chunk.off
+    && Array.for_all (fun v -> v >= 0 && v <= u32_max) c.Chunk.nbr
+    && Array.for_all (fun v -> v >= 0 && v <= u32_max) c.Chunk.wgt
+  in
+  if not field_ok then
+    Error (Bad_field { path = chunk_filename ~cid:c.Chunk.cid; field = "32-bit range" })
+  else
+    replace_file
+      ~path:(Filename.concat dir (chunk_filename ~cid:c.Chunk.cid))
+      (Bytes.unsafe_to_string buf)
+
+let read ~dir ~bits ~cid =
+  let path = Filename.concat dir (chunk_filename ~cid) in
+  match read_file path with
+  | Error _ as e -> e
+  | Ok content ->
+      let len = String.length content in
+      if len < header_bytes then
+        Error (Truncated { path; expected = header_bytes; got = len })
+      else begin
+        let buf = Bytes.unsafe_of_string content in
+        let file_magic = String.sub content 0 4 in
+        if not (String.equal file_magic magic) then
+          Error (Bad_magic { path; magic = file_magic })
+        else begin
+          let version = Bytes.get_uint16_le buf 4 in
+          if version <> format_version then Error (Bad_version { path; version })
+          else begin
+            let file_cid = get_u32 buf 8 in
+            let count = get_u32 buf 12 in
+            let slots = get_u32 buf 16 in
+            let stored_crc = get_u32 buf 20 in
+            let payload_len = 4 * (count + 1 + (2 * slots)) in
+            if len <> header_bytes + payload_len then
+              Error (Truncated { path; expected = header_bytes + payload_len; got = len })
+            else if file_cid <> cid then Error (Bad_field { path; field = "chunk id" })
+            else begin
+              let computed = Crc32.bytes buf ~pos:header_bytes ~len:payload_len in
+              if computed <> stored_crc then
+                Error (Crc_mismatch { path; stored = stored_crc; computed })
+              else begin
+                let pos = ref header_bytes in
+                let take k =
+                  Array.init k (fun _ ->
+                      let v = get_u32 buf !pos in
+                      pos := !pos + 4;
+                      v)
+                in
+                let off = take (count + 1) in
+                let nbr = take slots in
+                let wgt = take slots in
+                if off.(0) <> 0 || off.(count) <> slots then
+                  Error (Bad_field { path; field = "offsets" })
+                else
+                  Ok
+                    {
+                      Chunk.cid;
+                      base = cid lsl bits;
+                      count;
+                      off;
+                      nbr;
+                      wgt;
+                    }
+              end
+            end
+          end
+        end
+      end
+
+(* ---- manifest --------------------------------------------------------- *)
+
+type manifest = {
+  chunk_bits : int;
+  n : int;
+  m : int;
+  total_weight : int;
+  num_chunks : int;
+  hash : int64;
+}
+
+let write_manifest ~dir (mf : manifest) =
+  let json =
+    Json.Obj
+      [
+        ("format_version", Json.Int format_version);
+        ("chunk_bits", Json.Int mf.chunk_bits);
+        ("n", Json.Int mf.n);
+        ("m", Json.Int mf.m);
+        ("total_weight", Json.Int mf.total_weight);
+        ("num_chunks", Json.Int mf.num_chunks);
+        ("hash", Json.String (Hash.to_hex mf.hash));
+      ]
+  in
+  replace_file ~path:(Filename.concat dir manifest_filename) (Json.to_string json ^ "\n")
+
+let read_manifest ~dir =
+  let path = Filename.concat dir manifest_filename in
+  match read_file path with
+  | Error _ as e -> e
+  | Ok content -> (
+      let field j name = Option.bind (Json.member name j) Json.to_int in
+      match Json.of_string (String.trim content) with
+      | Error msg -> Error (Bad_field { path; field = "json: " ^ msg })
+      | Ok j -> (
+          match
+            ( field j "format_version",
+              field j "chunk_bits",
+              field j "n",
+              field j "m",
+              field j "total_weight",
+              field j "num_chunks",
+              Option.bind (Option.bind (Json.member "hash" j) Json.to_str)
+                Hash.of_hex )
+          with
+          | Some v, _, _, _, _, _, _ when v <> format_version ->
+              Error (Bad_version { path; version = v })
+          | ( Some _,
+              Some chunk_bits,
+              Some n,
+              Some m,
+              Some total_weight,
+              Some num_chunks,
+              Some hash ) ->
+              Ok { chunk_bits; n; m; total_weight; num_chunks; hash }
+          | _ -> Error (Bad_field { path; field = "manifest fields" })))

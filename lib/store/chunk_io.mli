@@ -1,0 +1,62 @@
+(** Versioned binary on-disk chunk format.
+
+    One file per chunk, [chunk_<cid>.mck], little-endian:
+
+    {v
+    offset  size  field
+    0       4     magic "MCNK"
+    4       2     format version (currently 1)
+    6       2     reserved (0)
+    8       4     chunk id
+    12      4     node count
+    16      4     slot count (directed adjacency entries)
+    20      4     CRC-32 of the payload
+    24      ...   payload: off[count+1], nbr[slots], wgt[slots], u32 each
+    v}
+
+    Readers verify magic, version, declared lengths and the CRC before
+    any field is trusted, so corruption surfaces as a typed {!error},
+    never as a malformed graph.  Writes go to a temp file in the same
+    directory and are renamed into place, so a crash mid-write leaves
+    either the old chunk or none — no torn file is ever picked up.
+
+    A store directory is described by a [manifest.json] (same
+    atomic-rename discipline) carrying the format version, chunk
+    geometry, graph totals and the canonical structural hash. *)
+
+val format_version : int
+
+type error =
+  | Io of string  (** underlying system error *)
+  | Truncated of { path : string; expected : int; got : int }
+  | Bad_magic of { path : string; magic : string }
+  | Bad_version of { path : string; version : int }
+  | Crc_mismatch of { path : string; stored : int; computed : int }
+  | Bad_field of { path : string; field : string }
+      (** a length or value field is inconsistent with the file *)
+
+val error_message : error -> string
+
+val chunk_filename : cid:int -> string
+
+val write : dir:string -> Chunk.t -> (unit, error) result
+(** Serialize atomically into [dir]. *)
+
+val read : dir:string -> bits:int -> cid:int -> (Chunk.t, error) result
+(** Load and fully validate chunk [cid] from [dir]; [bits] supplies the
+    addressing width so the chunk's [base] can be restored. *)
+
+(** {1 Manifest} *)
+
+type manifest = {
+  chunk_bits : int;
+  n : int;
+  m : int;
+  total_weight : int;
+  num_chunks : int;
+  hash : int64;  (** canonical structural hash, {!Graph_key}-compatible *)
+}
+
+val write_manifest : dir:string -> manifest -> (unit, error) result
+
+val read_manifest : dir:string -> (manifest, error) result

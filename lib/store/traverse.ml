@@ -1,0 +1,107 @@
+module CG = Chunked_graph
+
+type bfs = {
+  dist : int array;
+  parent : int array;
+  reached : int;
+  ecc : int;
+  rounds : int;
+}
+
+let bfs g ~root =
+  let n = CG.n g in
+  if root < 0 || root >= n then
+    invalid_arg (Printf.sprintf "Traverse.bfs: root %d out of range" root);
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  dist.(root) <- 0;
+  let reached = ref 1 in
+  let ecc = ref 0 in
+  let frontier = ref [ root ] in
+  let d = ref 0 in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        CG.iter_neighbors g u ~f:(fun v _w ->
+            if dist.(v) = -1 then begin
+              dist.(v) <- !d + 1;
+              (* frontier is ascending and first claim wins, so the
+                 parent is the minimum-id offerer — the engine's
+                 adoption rule *)
+              parent.(v) <- u;
+              incr reached;
+              next := v :: !next
+            end))
+      !frontier;
+    frontier := List.sort Int.compare !next;
+    if !frontier <> [] then begin
+      incr d;
+      ecc := !d
+    end
+  done;
+  (* ecc = 0 means the root flooded nothing: the driver counts a single
+     quiet round.  Otherwise last adoption at round ecc, its wasted
+     flood at ecc+1, quiescence declared entering ecc+2. *)
+  let rounds = if !ecc = 0 then 1 else !ecc + 2 in
+  { dist; parent; reached = !reached; ecc = !ecc; rounds }
+
+let insert_sorted xs x =
+  let rec ins = function
+    | [] -> [ x ]
+    | y :: tl -> if x <= y then x :: y :: tl else y :: ins tl
+  in
+  ins xs
+
+let upcast_rounds ~parent ~root ~sources =
+  match sources with
+  | [] -> 0
+  | _ ->
+      let n = Array.length parent in
+      let unsent = Array.make n [] in
+      let in_active = Array.make n false in
+      let active = ref [] in
+      let add_item v x =
+        if v <> root then begin
+          if v < 0 || v >= n then
+            invalid_arg "Traverse.upcast_rounds: node out of range";
+          unsent.(v) <- insert_sorted unsent.(v) x;
+          if not in_active.(v) then begin
+            in_active.(v) <- true;
+            active := v :: !active
+          end
+        end
+      in
+      List.iteri (fun i s -> add_item s i) sources;
+      let inbox = ref [] in
+      let round = ref 0 in
+      let last_send = ref (-1) in
+      while !active <> [] || !inbox <> [] do
+        (* deliveries from the previous round land before anyone sends:
+           the engine's step sees last round's outbox as this round's
+           inbox and may forward the item immediately *)
+        List.iter (fun (dst, x) -> add_item dst x) !inbox;
+        let senders = !active in
+        active := [];
+        let sends = ref [] in
+        List.iter
+          (fun v ->
+            match unsent.(v) with
+            | [] -> in_active.(v) <- false
+            | x :: rest ->
+                unsent.(v) <- rest;
+                let p = parent.(v) in
+                if p = -1 then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Traverse.upcast_rounds: node %d cannot reach the root" v);
+                sends := (p, x) :: !sends;
+                if rest = [] then in_active.(v) <- false
+                else active := v :: !active)
+          senders;
+        if !sends <> [] then last_send := !round;
+        inbox := !sends;
+        incr round
+      done;
+      (* Network.run_bounded's effective completion time *)
+      if !last_send < 0 then 0 else !last_send + 2

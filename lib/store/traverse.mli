@@ -1,0 +1,35 @@
+(** Chunk-at-a-time traversal primitives for the scale ladder.
+
+    These reproduce, at store scale, the two round-count behaviours the
+    engine measures on in-memory graphs: flooding BFS and the pipelined
+    distinct-item upcast.  Frontiers are swept in ascending node order —
+    node ids are chunk-major, so each BFS level touches every chunk at
+    most once and a budget of a few chunks suffices for locality.
+
+    Round accounting matches [Mincut_congest.Network]: the flooding BFS
+    program quiesces [eccentricity + 2] rounds after the root announces
+    (last adoption at round ecc, its wasted flood occupies one more
+    round, and the empty round after that is the one the driver counts
+    before declaring quiescence); the upcast count is the last send
+    round + 2, exactly [Network.run_bounded]'s effective completion
+    time.  Tests pin both equalities against the real engine on small
+    graphs. *)
+
+type bfs = {
+  dist : int array;  (** -1 where unreached *)
+  parent : int array;  (** -1 at the root and unreached nodes *)
+  reached : int;  (** nodes with [dist >= 0] *)
+  ecc : int;  (** max distance reached from the root *)
+  rounds : int;  (** engine-equivalent flooding rounds *)
+}
+
+val bfs : Chunked_graph.t -> root:int -> bfs
+(** Level-synchronous BFS faulting chunks through residency. *)
+
+val upcast_rounds : parent:int array -> root:int -> sources:int list -> int
+(** Simulate the pipelined distinct-item upcast on the [parent] tree:
+    one item sits at each source node (sources need not be distinct —
+    every occurrence is its own item), and every round each node
+    forwards its smallest unsent known item to its parent.  Returns the
+    engine-equivalent round count; 0 when [sources] is empty.  Work is
+    O(total forwards) = O(Σ depth(source)), not O(rounds · n). *)

@@ -341,6 +341,22 @@ let test_service_metrics_accounting () =
   check_int "cold latencies observed" 2 (hist "solve_cold_ms").Metrics.count;
   check_int "warm latencies observed" 1 (hist "solve_warm_ms").Metrics.count
 
+(* A request completing after its absolute deadline must bump the
+   deadlines_missed counter; on-time and deadline-free requests must
+   not. *)
+let test_service_deadline_missed () =
+  let t = service () in
+  let g = Generators.ring 8 in
+  (* epoch + 1s is decades in the past, so the solve always "misses" *)
+  let late = Service.solve t (Request.make g ~deadline:1.0) in
+  check_bool "late request still answered" true (late.Request.summary.Api.value > 0);
+  let counter name = List.assoc name (Service.snapshot t).Metrics.counters in
+  check_int "miss counted" 1 (counter "deadlines_missed");
+  let _ = Service.solve t (Request.make g ~seed:1) in
+  let _ = Service.solve t (Request.make g ~seed:2 ~deadline:(Unix.gettimeofday () +. 3600.0)) in
+  check_int "no-deadline and on-time requests do not count" 1
+    (counter "deadlines_missed")
+
 (* ---- line protocol / server ------------------------------------------ *)
 
 let scripted_io lines =
@@ -521,6 +537,7 @@ let suite =
     tc "service: cache hit span tree bit-identical" test_service_cache_hit_span_tree;
     tc "service: flush coalesces and answers in order" test_service_flush_batches;
     tc "service: metrics accounting" test_service_metrics_accounting;
+    tc "service: deadline misses counted" test_service_deadline_missed;
     tc "server: scripted session" test_server_session;
     tc "server: submit/flush protocol" test_server_submit_flush;
     tc "server: malformed GRAPH payload drained" test_server_graph_payload_drained;
