@@ -18,6 +18,7 @@ module Graph = Mincut_graph.Graph
 module Generators = Mincut_graph.Generators
 module Rng = Mincut_util.Rng
 module Json = Mincut_util.Json
+module Stats = Mincut_util.Stats
 module Network = Mincut_congest.Network
 module Reference = Mincut_congest.Network_reference
 module Primitives = Mincut_congest.Primitives
@@ -165,6 +166,10 @@ let bench_store_ladder () =
         | Error e -> failwith (Printf.sprintf "sim: store ladder n=%d: %s" nreq e)
         | Ok s ->
             let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            (* process-wide high-water mark sampled after the point: a
+               ladder rung whose eviction counts hold the working set
+               down must not be growing this monotone curve either *)
+            let rss = Stats.peak_rss_kb () in
             let st = s.Scaling.st_stats in
             if st.Residency.evictions = 0 then
               failwith
@@ -175,18 +180,23 @@ let bench_store_ladder () =
             Printf.printf
               "  n=%-7d chunks=%-3d bfs=%-4d upcast=%-4d charged=%-7d \
                frags=%-4d  hits=%d misses=%d evictions=%d resident=%d/%dB  \
-               (%.0f ms)\n%!"
+               (%.0f ms, peak rss %s)\n%!"
               s.Scaling.st_n s.Scaling.st_num_chunks s.Scaling.st_bfs_rounds
               s.Scaling.st_upcast_rounds s.Scaling.st_or_rounds
               s.Scaling.st_fragments st.Residency.hits st.Residency.misses
               st.Residency.evictions st.Residency.bytes_resident
-              st.Residency.budget ms;
-            (s, ms))
+              st.Residency.budget ms
+              (match rss with
+              | Some kb -> Printf.sprintf "%d kB" kb
+              | None -> "n/a");
+            (s, ms, rss))
       sizes
   in
-  if (not !quick) && not (List.exists (fun (s, _) -> s.Scaling.st_n >= 100_000) points)
+  if
+    (not !quick)
+    && not (List.exists (fun (s, _, _) -> s.Scaling.st_n >= 100_000) points)
   then failwith "sim: full store ladder is missing its n >= 1e5 point";
-  let report = Scaling.fit_store (List.map fst points) in
+  let report = Scaling.fit_store (List.map (fun (s, _, _) -> s) points) in
   List.iter (fun line -> Printf.printf "  %s\n%!" line) (Scaling.describe report);
   if not report.Scaling.ok then failwith "sim: store ladder envelope fits failed";
   Json.Obj
@@ -194,9 +204,17 @@ let bench_store_ladder () =
       ( "points",
         Json.List
           (List.map
-             (fun (s, ms) ->
+             (fun (s, ms, rss) ->
+               let extra =
+                 [
+                   ("ms", Json.Float ms);
+                   ( "peak_rss_kb",
+                     match rss with Some kb -> Json.Int kb | None -> Json.Null
+                   );
+                 ]
+               in
                match Scaling.store_sample_to_json s with
-               | Json.Obj fields -> Json.Obj (fields @ [ ("ms", Json.Float ms) ])
+               | Json.Obj fields -> Json.Obj (fields @ extra)
                | j -> j)
              points) );
       ("fits", Scaling.to_json report);

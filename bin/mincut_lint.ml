@@ -1,25 +1,35 @@
 (* mincut_lint — static analysis and conformance audit driver.
 
-     mincut_lint                    # lint lib/ bin/ + replay conformance
+     mincut_lint                    # token lint lib/ bin/ + replay conformance
      mincut_lint --json             # machine-readable report
      mincut_lint --no-replay src/   # lint only, custom roots
+     mincut_lint ast                # AST tier: call-graph analyzers
+     mincut_lint ast --inject race  # prove an AST analyzer is live
      mincut_lint certify --quick    # CONGEST-model certifier (CI form)
      mincut_lint certify --inject order   # prove the certifier is live
 
-   Pass 1 (source lint) scans OCaml sources for determinism/model
-   hazards (see [Mincut_analysis.Lint]); accepted findings live in the
-   [.mincut-lint-allow] file.  Pass 2 (deterministic replay) runs the
-   BFS message program, the exact, approx and 1-respecting pipelines
-   and a warm-vs-cold serve pass twice each on small workloads and
-   diffs the full execution audits — any hidden nondeterminism fails
-   the run.  The [certify] subcommand drives the three-analyzer
-   certification suite ([Mincut_analysis.Certify]): shadow sanitizers,
-   span-tree invariant verification and asymptotic envelope fits.
-   Exit status: 0 clean, 1 findings or replay/certification failure,
-   2 usage error. *)
+   Pass 1 (source lint) scans OCaml sources token-wise for
+   determinism/model hazards (see [Mincut_analysis.Lint]); accepted
+   findings live in the [.mincut-lint-allow] file.  Pass 2
+   (deterministic replay) runs the BFS message program, the exact,
+   approx and 1-respecting pipelines and a warm-vs-cold serve pass
+   twice each on small workloads and diffs the full execution audits —
+   any hidden nondeterminism fails the run.  The [ast] subcommand is
+   the second lint tier ([Mincut_analysis.Astlint]): it parses every
+   [.ml] with the compiler's parser and runs the call-graph analyzers
+   (scope-aware rule ports, effect classes, allocation budgets, static
+   domain races) against [.mincut-ast-allow]; [--inject
+   nondet|alloc|race] seeds a defect that must be caught (exit 1
+   caught, 3 rotted).  The [certify] subcommand drives the
+   three-analyzer certification suite ([Mincut_analysis.Certify]):
+   shadow sanitizers, span-tree invariant verification and asymptotic
+   envelope fits.  Exit status: 0 clean, 1 findings or
+   replay/certification failure, 2 usage error. *)
 
 open Cmdliner
 module Lint = Mincut_analysis.Lint
+module Astlint = Mincut_analysis.Astlint
+module Allocheck = Mincut_analysis.Allocheck
 module Replay = Mincut_analysis.Replay
 module Certify = Mincut_analysis.Certify
 module Lockcheck = Mincut_analysis.Lockcheck
@@ -38,6 +48,7 @@ module Service = Mincut_serve.Service
 module Request = Mincut_serve.Request
 
 let default_allow_file = ".mincut-lint-allow"
+let default_ast_allow_file = ".mincut-ast-allow"
 
 (* ---- replay pass ------------------------------------------------------ *)
 
@@ -304,6 +315,136 @@ let run paths allow_file json no_replay =
           else report_human findings unused replays;
           if findings = [] && List.for_all (fun r -> r.ok) replays then 0 else 1)
 
+(* ---- ast subcommand ---------------------------------------------------- *)
+
+let report_ast_human (r : Astlint.report) findings unused =
+  Format.printf "%a" Lint.pp_findings findings;
+  List.iter
+    (fun entry ->
+      Format.printf "note: unused allowlist entry %S — delete it@." entry)
+    unused;
+  Format.printf "ast: %d files parsed, %d parse error%s@." (List.length r.Astlint.files)
+    (List.length r.Astlint.parse_errors)
+    (if List.length r.Astlint.parse_errors = 1 then "" else "s");
+  Format.printf "ast: effects:%s@."
+    (String.concat ""
+       (List.filter_map
+          (fun (k, n) ->
+            if n = 0 then None else Some (Printf.sprintf " %d %s" n k))
+          r.Astlint.effect_classes));
+  List.iter
+    (fun (t : Allocheck.target) ->
+      Format.printf "ast: alloc: %s — %d site%s of budget %d@." t.Allocheck.tid
+        (List.length t.Allocheck.sites)
+        (if List.length t.Allocheck.sites = 1 then "" else "s")
+        t.Allocheck.budget)
+    r.Astlint.alloc_targets;
+  let nf = List.length findings in
+  if nf = 0 then Format.printf "mincut_lint ast: clean@."
+  else Format.printf "mincut_lint ast: %d finding%s@." nf (if nf = 1 then "" else "s")
+
+let run_ast paths allow_file json inject =
+  let paths = if paths = [] then [ "lib"; "bin" ] else paths in
+  match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some missing ->
+      Printf.eprintf "mincut_lint ast: no such path %S\n" missing;
+      2
+  | None -> (
+      let allow =
+        match allow_file with
+        | Some f -> Lint.Allow.load ~known:Astlint.known_rule f
+        | None ->
+            if Sys.file_exists default_ast_allow_file then
+              Lint.Allow.load ~known:Astlint.known_rule default_ast_allow_file
+            else Ok Lint.Allow.empty
+      in
+      match allow with
+      | Error e ->
+          Printf.eprintf "mincut_lint ast: allowlist: %s\n" e;
+          2
+      | Ok allow -> (
+          let finish r =
+            let raw = Astlint.findings r in
+            let findings = Lint.Allow.filter allow raw in
+            let unused = Lint.Allow.unused allow raw in
+            if json then
+              print_endline
+                (Json.to_string
+                   (match Astlint.to_json r with
+                   | Json.Obj fields ->
+                       Json.Obj
+                         (fields
+                         @ [
+                             ( "allow_unused",
+                               Json.List
+                                 (List.map (fun s -> Json.String s) unused) );
+                             ( "status",
+                               Json.String
+                                 (if findings = [] then "clean" else "dirty") );
+                           ])
+                   | other -> other))
+            else report_ast_human r findings unused;
+            findings
+          in
+          match inject with
+          | None -> if finish (Astlint.run paths) = [] then 0 else 1
+          | Some seed -> (
+              match Astlint.run_inject ~seed paths with
+              | Error e ->
+                  Printf.eprintf "mincut_lint ast: %s\n" e;
+                  2
+              | Ok (r, rule) ->
+                  let findings = finish r in
+                  let caught =
+                    List.exists (fun (f : Lint.finding) -> f.Lint.rule = rule) findings
+                  in
+                  if caught then begin
+                    Format.printf
+                      "mincut_lint ast: injected %s defect caught (%s)@." seed
+                      rule;
+                    1
+                  end
+                  else begin
+                    Format.printf
+                      "mincut_lint ast: injected %s defect NOT caught — the %s \
+                       analyzer has rotted@."
+                      seed rule;
+                    3
+                  end)))
+
+let ast_cmd =
+  let paths_arg =
+    let doc = "Files or directories to analyze (default: lib bin)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let allow_arg =
+    let doc =
+      "Allowlist file of accepted findings, one 'rule path[:line]' per line \
+       (default: " ^ default_ast_allow_file ^ " when present)."
+    in
+    Arg.(value & opt (some string) None & info [ "allow" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one machine-readable JSON report on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Append one deliberately defective pseudo-module (nondet, alloc or \
+       race) before analysis; exits 1 if the matching analyzer catches it, \
+       3 if it does not — proving the analyzers are live."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SEED" ~doc)
+  in
+  let doc =
+    "AST analysis tier: parses every .ml with the compiler's parser and runs \
+     the call-graph analyzers (effect classes, allocation budgets, static \
+     domain races) plus scope-aware ports of the token rules"
+  in
+  Cmd.v
+    (Cmd.info "ast" ~doc)
+    Term.(const run_ast $ paths_arg $ allow_arg $ json_arg $ inject_arg)
+
 (* ---- certify subcommand ----------------------------------------------- *)
 
 let report_certify_human (r : Certify.report) =
@@ -407,6 +548,6 @@ let cmd =
   Cmd.group
     ~default:Term.(const run $ paths_arg $ allow_arg $ json_arg $ no_replay_arg)
     (Cmd.info "mincut_lint" ~version:"1.0.0" ~doc)
-    [ certify_cmd ]
+    [ ast_cmd; certify_cmd ]
 
 let () = exit (Cmd.eval' cmd)

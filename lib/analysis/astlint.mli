@@ -1,0 +1,66 @@
+(** AST analysis tier: the [mincut_lint ast] engine.
+
+    Orchestrates the Parsetree analyzers over one shared parse and call
+    graph: scope-aware ports of every token rule ({!hazards}),
+    {!Effects.check} ([step-effect]), {!Allocheck.check}
+    ([alloc-budget]) and {!Domcheck.check} ([domain-race]), plus
+    [parse-error] findings for sources only the token fallback covers.
+    {!agreement} pins the token and AST implementations of the shared
+    rules to the same (rule, line) answers on parseable sources, and
+    {!inject_seeds} carries three self-contained defective modules CI
+    injects to prove each analyzer still fires. *)
+
+val rules : (string * string) list
+(** Token rules plus the AST-only rules; the rule vocabulary of the
+    [ast] allowlist. *)
+
+val known_rule : string -> bool
+
+val hazards : Srcread.source -> Lint.finding list
+(** Scope-aware ports of the token rules over one parsed source. *)
+
+type disagreement = { tier : string; drule : string; dline : int }
+(** A (rule, line) finding present in exactly one tier; [tier] names
+    the tier that has it ("token" or "ast"). *)
+
+val agreement : file:string -> string -> disagreement list
+(** Compare both tiers on one source buffer.  Empty on agreement and on
+    unparseable sources (where the token tier is alone by design). *)
+
+type report = {
+  files : string list;
+  parse_errors : Srcread.error list;
+  hazard_findings : Lint.finding list;
+  effect_findings : Lint.finding list;
+  effect_classes : (string * int) list;  (** census: class name → defs *)
+  alloc_targets : Allocheck.target list;
+  alloc_findings : Lint.finding list;
+  race_findings : Lint.finding list;
+}
+
+val analyze :
+  ?budgets:(string * int) list ->
+  Srcread.source list * Srcread.error list ->
+  report
+
+val run : ?budgets:(string * int) list -> string list -> report
+(** Parse every [.ml] under the paths and analyze. *)
+
+val findings : report -> Lint.finding list
+(** All findings including [parse-error], sorted by file/line/col. *)
+
+val to_json : report -> Mincut_util.Json.t
+
+val inject_seeds : (string * (string * string * string)) list
+(** [seed → (pseudo-file, source, expected rule)] for the three CI
+    defect injections: ["nondet"], ["alloc"], ["race"]. *)
+
+val expected_rule : string -> string option
+
+val run_inject :
+  ?budgets:(string * int) list ->
+  seed:string ->
+  string list ->
+  (report * string, string) result
+(** Analyze the paths with the seed's pseudo-module appended; returns
+    the report and the rule the seed must trigger. *)

@@ -21,6 +21,13 @@ let rules =
     ("list-nth", "List.nth is O(n) per access; index an array instead");
   ]
 
+(* Every token rule is also implemented — scope-aware — by the AST tier
+   ([Astlint.hazards]); this scanner is demoted to the fallback that
+   still covers [.mli] files and sources the compiler's parser rejects.
+   [Astlint.agreement] holds the two implementations to the same answers
+   on parseable [.ml] files. *)
+let ast_subsumed = List.map fst rules
+
 (* ---- lexer ------------------------------------------------------------ *)
 
 (* Just enough of OCaml's lexical structure to walk real sources safely:
@@ -285,12 +292,37 @@ let scan_source ~file src =
   let is_float i = i >= 0 && i < n && toks.(i).is_float in
   (* [lhs = float] is also how let-bindings, record fields and optional
      argument defaults spell initialization; only comparison positions
-     should fire float-equal *)
+     should fire float-equal.  The one-token lookbehind alone missed
+     bindings with parameters ([let f () = 2.5], [let rec scale x =
+     0.5]), so when it is inconclusive we scan left across the
+     parameter tokens for the introducing [let]/[and], stopping cold at
+     anything that can only occur in expression position. *)
+  let expression_stopper = function
+    | "if" | "then" | "else" | "match" | "with" | "try" | "begin" | "end"
+    | "do" | "done" | "while" | "for" | "fun" | "function" | "in" | "when"
+    | "->" | "<-" | ";" | "," | "=" | "{" | "}" | "[" | "]" ->
+        true
+    | _ -> false
+  in
   let binding_context i =
     match text (i - 2) with
     | "let" | "and" | "with" | "{" | ";" | "," | ":" | "<-" -> true
-    | "(" -> text (i - 3) = "?"
-    | _ -> false
+    | "(" when text (i - 3) = "?" -> true
+    | _ ->
+        let rec scan j =
+          if j < 0 then false
+          else
+            let tj = text j in
+            if tj = "let" || tj = "and" then true
+            else if expression_stopper tj then false
+            else if
+              tj = "rec" || tj = "(" || tj = ")" || tj = "~" || tj = "?"
+              || tj = ":" || tj = "_"
+              || (j < n && toks.(j).is_ident)
+            then scan (j - 1)
+            else false
+        in
+        scan (i - 1)
   in
   (* nearest enclosing [try]/[match]-ish construct, for catchall-exn *)
   let construct_stack = ref [] in
@@ -396,7 +428,9 @@ module Allow = struct
 
   let empty = []
 
-  let parse_entry lineno raw =
+  let default_known rule = List.exists (fun (r, _) -> r = rule) rules
+
+  let parse_entry ~known lineno raw =
     let body =
       match String.index_opt raw '#' with
       | Some i -> String.sub raw 0 i
@@ -408,8 +442,7 @@ module Allow = struct
     with
     | [] -> Ok None
     | [ rule; target ] ->
-        let known = List.exists (fun (r, _) -> r = rule) rules in
-        if not known then
+        if not (known rule) then
           Error (Printf.sprintf "line %d: unknown rule %S" lineno rule)
         else
           let path, line_no =
@@ -425,21 +458,21 @@ module Allow = struct
           Ok (Some { rule; path; line_no; raw = String.trim body })
     | _ -> Error (Printf.sprintf "line %d: expected 'rule path[:line]'" lineno)
 
-  let of_lines lines =
+  let of_lines ?(known = default_known) lines =
     let rec go acc lineno = function
       | [] -> Ok (List.rev acc)
       | l :: rest -> (
-          match parse_entry lineno l with
+          match parse_entry ~known lineno l with
           | Error _ as e -> e
           | Ok None -> go acc (lineno + 1) rest
           | Ok (Some e) -> go (e :: acc) (lineno + 1) rest)
     in
     go [] 1 lines
 
-  let load path =
+  let load ?known path =
     match In_channel.with_open_text path In_channel.input_lines with
     | exception Sys_error e -> Error e
-    | lines -> of_lines lines
+    | lines -> of_lines ?known lines
 
   let path_matches ~entry_path ~file =
     file = entry_path

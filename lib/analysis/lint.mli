@@ -45,6 +45,11 @@ type finding = {
 val rules : (string * string) list
 (** [(rule-id, one-line description)] for every rule the scanner knows. *)
 
+val ast_subsumed : string list
+(** Rules also implemented (scope-aware) by the AST tier ({!Astlint});
+    currently all of them.  The token scanner stays the fallback for
+    [.mli] files and sources the compiler's parser rejects. *)
+
 val scan_source : file:string -> string -> finding list
 (** Scan a source buffer ([file] is only used to label findings). *)
 
@@ -56,18 +61,23 @@ val scan_paths : string list -> finding list
     skipping [_build] and dot-directories), findings sorted by
     file/line/col. *)
 
+val compare_findings : finding -> finding -> int
+(** Order by file, then line, then column. *)
+
 (** Allowlist: suppressing accepted findings. *)
 module Allow : sig
   type t
 
   val empty : t
 
-  val load : string -> (t, string) result
+  val load : ?known:(string -> bool) -> string -> (t, string) result
   (** Parse an allowlist file.  Each non-comment line is
       [rule path] or [rule path:line]; [path] matches a finding whose
-      file path equals it or ends with ["/" ^ path]. *)
+      file path equals it or ends with ["/" ^ path].  [known] validates
+      rule names (defaults to the token {!rules}); the AST tier passes
+      its own rule set. *)
 
-  val of_lines : string list -> (t, string) result
+  val of_lines : ?known:(string -> bool) -> string list -> (t, string) result
 
   val filter : t -> finding list -> finding list
   (** Drop allowlisted findings. *)

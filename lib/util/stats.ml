@@ -47,6 +47,30 @@ let summarize xs =
     p90 = percentile xs 0.9;
   }
 
+(* VmHWM from /proc/self/status: the process's peak resident set, in
+   kB.  Linux-only by construction; anywhere the file or the field is
+   missing the caller gets [None] rather than a fake number. *)
+let peak_rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_lines with
+  | exception Sys_error _ -> None
+  | lines ->
+      List.find_map
+        (fun line ->
+          let prefix = "VmHWM:" in
+          if
+            String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+          then
+            String.sub line (String.length prefix)
+              (String.length line - String.length prefix)
+            |> String.split_on_char ' '
+            |> List.find_map (fun tok ->
+                   match int_of_string_opt (String.trim tok) with
+                   | Some kb when kb > 0 -> Some kb
+                   | _ -> None)
+          else None)
+        lines
+
 let linear_fit pts =
   let n = float_of_int (Array.length pts) in
   assert (Array.length pts >= 2);

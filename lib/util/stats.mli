@@ -21,6 +21,11 @@ val percentile : float array -> float -> float
 (** [percentile xs q] with [q] in [\[0,1\]], linear interpolation between
     order statistics. *)
 
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process ([VmHWM] in
+    [/proc/self/status]), in kB; [None] where the Linux procfs field is
+    unavailable. *)
+
 val linear_fit : (float * float) array -> float * float
 (** [linear_fit pts] returns [(slope, intercept)] of the least-squares
     line through the points.  Used to estimate empirical growth exponents

@@ -1,0 +1,414 @@
+(* AST analysis tier: parsing, call graph, effect lattice, allocation
+   budgets, static races, and token/AST agreement. *)
+
+open Test_helpers
+module Lint = Mincut_analysis.Lint
+module Srcread = Mincut_analysis.Srcread
+module Callgraph = Mincut_analysis.Callgraph
+module Effects = Mincut_analysis.Effects
+module Allocheck = Mincut_analysis.Allocheck
+module Astlint = Mincut_analysis.Astlint
+module Stats = Mincut_util.Stats
+
+let parse ?(file = "fixture.ml") src =
+  match Srcread.parse_string ~file src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "fixture does not parse: %s (%d:%d)" e.Srcread.reason e.Srcread.eline e.Srcread.ecol
+
+let hazard_rules src =
+  List.map (fun f -> f.Lint.rule) (Astlint.hazards (parse src))
+
+(* ---- hazards: scope-aware ports of the token rules --------------------- *)
+
+let test_hazards_fire () =
+  check_bool "hashtbl-hash" true
+    (hazard_rules "let f x = Hashtbl.hash x" = [ "hashtbl-hash" ]);
+  check_bool "poly-compare" true
+    (hazard_rules "let c = compare 1 2" = [ "poly-compare" ]);
+  check_bool "qualified poly-compare" true
+    (hazard_rules "let c = Stdlib.compare 1 2" = [ "poly-compare" ]);
+  check_bool "poly-equal section" true
+    (hazard_rules "let mem xs x = List.exists (( = ) x) xs" = [ "poly-equal" ]);
+  check_bool "unseeded random" true
+    (hazard_rules "let r = Random.int 5" = [ "unseeded-random" ]);
+  check_bool "obj magic" true
+    (hazard_rules "let x = Obj.magic 0" = [ "obj-magic" ]);
+  check_bool "catch-all" true
+    (hazard_rules "let x = try f () with _ -> 0" = [ "catchall-exn" ]);
+  check_bool "bare mutex" true
+    (hazard_rules "let m = Mutex.create ()" = [ "bare-mutex" ]);
+  check_bool "list-nth" true
+    (hazard_rules "let x xs = List.nth xs 3" = [ "list-nth" ]);
+  check_bool "float comparison" true
+    (hazard_rules "let b x = x = 2.5" = [ "float-equal" ])
+
+let test_hazards_scope_aware () =
+  (* the binding shapes the token tier needs lookbehind heuristics for
+     are simply not applications in the Parsetree *)
+  check_bool "float binding" true (hazard_rules "let x = 2.5" = []);
+  check_bool "float binding with params" true
+    (hazard_rules "let f () = 2.5" = []);
+  check_bool "rec float binding" true
+    (hazard_rules "let rec scale x = 0.5" = []);
+  check_bool "record field float" true
+    (hazard_rules "let r = { slack = 2.5 }" = []);
+  check_bool "optional default float" true
+    (hazard_rules "let f ?(eps = 1e-9) () = eps" = []);
+  check_bool "comparison still fires" true
+    (hazard_rules "let b x = if x = 2.5 then 1 else 0" = [ "float-equal" ]);
+  check_bool "defining compare is fine" true
+    (hazard_rules "let compare a b = Int.compare a b" = []);
+  check_bool "punned ~compare label is fine" true
+    (hazard_rules "let s compare xs = sort ~compare xs" = []);
+  check_bool "typed comparator ascription is fine" true
+    (hazard_rules "let c = (compare : int -> int -> int)" = []);
+  check_bool "strings don't trip" true
+    (hazard_rules {|let s = "Obj.magic compare Random.bool"|} = []);
+  check_bool "match wildcard is fine" true
+    (hazard_rules "let f x = match x with _ -> 0" = [])
+
+(* ---- token/AST agreement ----------------------------------------------- *)
+
+let agreement_fixtures =
+  [
+    "let f x = Hashtbl.hash x";
+    "let c = compare 1 2";
+    "let mem xs x = List.exists (( = ) x) xs";
+    "let r = Random.int 5";
+    "let x = Obj.magic 0";
+    "let x = try f () with _ -> 0";
+    "let m = Mutex.create ()";
+    "let x xs = List.nth xs 3";
+    "let b x = x = 2.5";
+    "let b x = if x = 2.5 then 1 else 0";
+    "let x = 2.5";
+    "let f () = 2.5";
+    "let rec scale x = 0.5";
+    "let r = { slack = 2.5 }";
+    "let f ?(eps = 1e-9) () = eps";
+    "let compare a b = Int.compare a b";
+    "let xs ys = List.sort Int.compare ys";
+    "let m xs = sort ~compare:Int.compare xs";
+    "let f x = match x with _ -> 0";
+    "let x = try f () with Not_found -> 0";
+    "(* Random.int in a comment *) let x = 1";
+    "let pi = 4.0 *. atan 1.0\nlet area r = pi *. r *. r";
+  ]
+
+let test_agreement_fixtures () =
+  List.iter
+    (fun src ->
+      match Astlint.agreement ~file:"fixture.ml" src with
+      | [] -> ()
+      | ds ->
+          Alcotest.failf "tiers disagree on %S: %s" src
+            (String.concat ", "
+               (List.map
+                  (fun (d : Astlint.disagreement) ->
+                    Printf.sprintf "%s-only %s:%d" d.Astlint.tier
+                      d.Astlint.drule d.Astlint.dline)
+                  ds)))
+    agreement_fixtures
+
+let repo_sources () =
+  (* tests run in _build/default/test; dune stages the sources one
+     level up.  Absent staging (odd sandboxes), make no claim. *)
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin" ] in
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry ->
+          if String.length entry > 0 && entry.[0] = '.' then acc
+          else walk acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.fold_left walk [] roots |> List.sort String.compare
+
+let test_agreement_on_repo () =
+  match repo_sources () with
+  | [] -> ()
+  | files ->
+      List.iter
+        (fun file ->
+          let src =
+            In_channel.with_open_text file In_channel.input_all
+          in
+          match Astlint.agreement ~file src with
+          | [] -> ()
+          | ds ->
+              Alcotest.failf "tiers disagree on %s: %s" file
+                (String.concat ", "
+                   (List.map
+                      (fun (d : Astlint.disagreement) ->
+                        Printf.sprintf "%s-only %s:%d" d.Astlint.tier
+                          d.Astlint.drule d.Astlint.dline)
+                      ds)))
+        files
+
+let test_repo_is_clean () =
+  match repo_sources () with
+  | [] -> ()
+  | _ ->
+      let r = Astlint.run [ "../lib"; "../bin" ] in
+      check_bool "repo parses" true (r.Astlint.parse_errors = []);
+      (* the only accepted findings are the two ranked-lock mutexes
+         inside Lockcheck itself (allowlisted in .mincut-ast-allow) *)
+      List.iter
+        (fun (f : Lint.finding) ->
+          if
+            not
+              (f.Lint.rule = "bare-mutex"
+              && Filename.basename f.Lint.file = "lockcheck.ml")
+          then
+            Alcotest.failf "unexpected finding %s:%d %s: %s" f.Lint.file
+              f.Lint.line f.Lint.rule f.Lint.message)
+        (Astlint.findings r)
+
+(* ---- effects ----------------------------------------------------------- *)
+
+let classify_fixture src =
+  let cg = Callgraph.build [ parse src ] in
+  let info = Effects.classify cg in
+  List.map
+    (fun (d : Callgraph.def) ->
+      ( d.Callgraph.id,
+        match Hashtbl.find_opt info d.Callgraph.id with
+        | Some (i : Effects.info) -> Effects.cls_name i.Effects.cls
+        | None -> "?" ))
+    (Callgraph.defs_in_order cg)
+
+let test_effect_lattice () =
+  let classes =
+    classify_fixture
+      {|
+let pure_add a b = a + b
+let counter = ref 0
+let bump () = counter := !counter + 1
+let clocky () = Unix.gettimeofday ()
+let seeded st = Random.State.int st 5
+let calls_pure x = pure_add x 1
+let calls_bump x = bump (); x
+let calls_clock x = x +. clocky ()
+|}
+  in
+  let cls id = List.assoc ("Fixture." ^ id) classes in
+  check_bool "pure" true (cls "pure_add" = "pure");
+  check_bool "global access is global-mutable" true
+    (cls "bump" = "global-mutable");
+  check_bool "clock is clock-random-io" true (cls "clocky" = "clock-random-io");
+  check_bool "seeded Random.State is deterministic-stateful" true
+    (cls "seeded" = "deterministic-stateful");
+  check_bool "pure propagates" true (cls "calls_pure" = "pure");
+  check_bool "global propagates" true (cls "calls_bump" = "global-mutable");
+  check_bool "clock propagates" true (cls "calls_clock" = "clock-random-io")
+
+let test_effect_annotation_pins () =
+  let classes =
+    classify_fixture
+      {|
+let noisy_debug x = (Printf.eprintf "dbg"; x) [@@mincut.effect "pure"]
+let caller x = noisy_debug x
+|}
+  in
+  check_bool "annotation pins the def" true
+    (List.assoc "Fixture.noisy_debug" classes = "pure");
+  check_bool "callers inherit the pinned class" true
+    (List.assoc "Fixture.caller" classes = "pure")
+
+(* classification is a function of the syntax, not of the concrete
+   layout: pretty-printing the Parsetree and re-parsing must classify
+   every def identically *)
+let effect_pool =
+  [|
+    "let pure_add a b = a + b";
+    "let shared = ref 0";
+    "let bump () = shared := !shared + 1";
+    "let clocky () = Unix.gettimeofday ()";
+    "let seeded st = Random.State.int st 5";
+    "let table = Hashtbl.create 8";
+    "let touch k = Hashtbl.replace table k k";
+    "let compose x = pure_add x (pure_add x 1)";
+    "let noisy () = print_endline \"x\"";
+    "let maybe_bump b = if b then bump () else ()";
+  |]
+
+let test_effects_stable_under_reparse =
+  qtest ~count:60 "effects: classification stable under re-parse"
+    QCheck2.Gen.(
+      list_size (int_range 1 (Array.length effect_pool))
+        (int_range 0 (Array.length effect_pool - 1)))
+    (fun picks ->
+      let src =
+        String.concat "\n"
+          (List.map (fun i -> effect_pool.(i)) (List.sort_uniq Int.compare picks))
+      in
+      let parsed = parse src in
+      let printed = Pprintast.string_of_structure parsed.Srcread.ast in
+      classify_fixture src = classify_fixture printed)
+
+(* ---- allocation budgets ------------------------------------------------ *)
+
+let test_allocheck_counts () =
+  let cg =
+    Callgraph.build
+      [
+        parse
+          {|
+let p =
+  {
+    initial = (fun _ -> 0);
+    step = (fun s _ -> let t = (s, s) in [ fst t ]);
+  }
+|};
+      ]
+  in
+  match Allocheck.targets cg with
+  | [ t ] ->
+      check_bool "target id" true (t.Allocheck.tid = "Fixture.p.step");
+      (* tuple + cons; the handler's own lambda is not a per-round
+         site, and the cons-cell pair is one block *)
+      check_int "sites" 2 (List.length t.Allocheck.sites)
+  | ts -> Alcotest.failf "expected 1 target, got %d" (List.length ts)
+
+let test_allocheck_error_path_free () =
+  let cg =
+    Callgraph.build
+      [
+        parse
+          {|
+let p =
+  {
+    initial = (fun _ -> 0);
+    step = (fun s _ -> if s < 0 then failwith (Printf.sprintf "bad %d" s) else s);
+  }
+|};
+      ]
+  in
+  match Allocheck.targets cg with
+  | [ t ] -> check_int "error-path printf is free" 0 (List.length t.Allocheck.sites)
+  | ts -> Alcotest.failf "expected 1 target, got %d" (List.length ts)
+
+(* ---- seeded defects ---------------------------------------------------- *)
+
+let test_inject_seeds_fire () =
+  List.iter
+    (fun (seed, (file, src, rule)) ->
+      let r = Astlint.analyze ([ parse ~file src ], []) in
+      match
+        List.filter (fun (f : Lint.finding) -> f.Lint.rule = rule)
+          (Astlint.findings r)
+      with
+      | [] -> Alcotest.failf "seed %s did not trigger %s" seed rule
+      | f :: _ ->
+          check_bool
+            (Printf.sprintf "%s provenance file" seed)
+            true (f.Lint.file = file);
+          check_bool
+            (Printf.sprintf "%s provenance line" seed)
+            true (f.Lint.line > 1))
+    Astlint.inject_seeds
+
+let test_inject_provenance_lines () =
+  (* pin the exact defect lines so provenance regressions are loud:
+     nondet's clock call is on seed line 5, alloc's program record opens
+     on line 3, race's unguarded write is on line 4 *)
+  let line_of seed =
+    let file, src, rule =
+      List.assoc seed Astlint.inject_seeds
+    in
+    let r = Astlint.analyze ([ parse ~file src ], []) in
+    match
+      List.filter (fun (f : Lint.finding) -> f.Lint.rule = rule)
+        (Astlint.findings r)
+    with
+    | f :: _ -> f.Lint.line
+    | [] -> Alcotest.failf "seed %s silent" seed
+  in
+  check_int "nondet line" 5 (line_of "nondet");
+  check_int "alloc line" 3 (line_of "alloc");
+  check_int "race line" 4 (line_of "race")
+
+let test_domcheck_respects_guards () =
+  let guarded =
+    {|
+let hits = ref 0
+let lock = Lockcheck.create ~name:"t" ~order:1
+let record_hit x = Lockcheck.with_lock lock (fun () -> hits := !hits + x)
+let tally xs = Mincut_parallel.Pool.map (fun x -> record_hit x) xs
+|}
+  in
+  let r = Astlint.analyze ([ parse ~file:"guarded.ml" guarded ], []) in
+  check_bool "with_lock silences the race" true
+    (List.for_all
+       (fun (f : Lint.finding) -> f.Lint.rule <> "domain-race")
+       (Astlint.findings r));
+  let atomic =
+    {|
+let hits = Atomic.make 0
+let record_hit x = Atomic.set hits (Atomic.get hits + x)
+let tally xs = Mincut_parallel.Pool.map (fun x -> record_hit x) xs
+|}
+  in
+  let r = Astlint.analyze ([ parse ~file:"atomic.ml" atomic ], []) in
+  check_bool "atomics are safe" true
+    (List.for_all
+       (fun (f : Lint.finding) -> f.Lint.rule <> "domain-race")
+       (Astlint.findings r))
+
+(* ---- plumbing ---------------------------------------------------------- *)
+
+let test_parse_error_finding () =
+  let r = Astlint.analyze (Srcread.load_paths []) in
+  check_bool "no phantom errors" true (r.Astlint.parse_errors = []);
+  match Srcread.parse_string ~file:"broken.ml" "let x = (" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      let r = Astlint.analyze ([], [ e ]) in
+      (match Astlint.findings r with
+      | [ f ] ->
+          check_bool "rule" true (f.Lint.rule = "parse-error");
+          check_bool "file" true (f.Lint.file = "broken.ml")
+      | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs))
+
+let test_ast_allow_knows_new_rules () =
+  check_bool "ast rules accepted" true
+    (match
+       Lint.Allow.of_lines ~known:Astlint.known_rule
+         [ "step-effect lib/foo.ml:3"; "domain-race lib/bar.ml" ]
+     with
+    | Ok _ -> true
+    | Error _ -> false);
+  check_bool "token tier still rejects them" true
+    (match Lint.Allow.of_lines [ "step-effect lib/foo.ml:3" ] with
+    | Ok _ -> false
+    | Error _ -> true)
+
+let test_peak_rss () =
+  match Stats.peak_rss_kb () with
+  | None -> () (* non-procfs platform: the bench records null *)
+  | Some kb -> check_bool "peak rss positive" true (kb > 0)
+
+let suite =
+  [
+    tc "hazards: every token rule has an AST port" test_hazards_fire;
+    tc "hazards: binding contexts don't trip the AST tier"
+      test_hazards_scope_aware;
+    tc "agreement: fixtures" test_agreement_fixtures;
+    tc "agreement: whole repo" test_agreement_on_repo;
+    tc "repo analyzes clean" test_repo_is_clean;
+    tc "effects: lattice and propagation" test_effect_lattice;
+    tc "effects: annotations pin classes" test_effect_annotation_pins;
+    test_effects_stable_under_reparse;
+    tc "allocheck: counts sites, skips handler lambda" test_allocheck_counts;
+    tc "allocheck: error paths are free" test_allocheck_error_path_free;
+    tc "inject: every seed fires its analyzer" test_inject_seeds_fire;
+    tc "inject: provenance lands on the defect line"
+      test_inject_provenance_lines;
+    tc "domcheck: with_lock and Atomic silence the race"
+      test_domcheck_respects_guards;
+    tc "parse errors become findings" test_parse_error_finding;
+    tc "allowlist: ast rule vocabulary" test_ast_allow_knows_new_rules;
+    tc "stats: peak rss readable" test_peak_rss;
+  ]

@@ -22,5 +22,6 @@ let () =
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
       ("analysis", Test_analysis.suite);
+      ("astlint", Test_astlint.suite);
       ("certify", Test_certify.suite);
     ]
