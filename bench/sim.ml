@@ -28,6 +28,7 @@ module Api = Mincut_core.Api
 module Params = Mincut_core.Params
 module Cost = Mincut_congest.Cost
 module Residency = Mincut_store.Residency
+module Pool = Mincut_parallel.Pool
 module Metrics = Mincut_serve.Metrics
 module Store_metrics = Mincut_serve.Store_metrics
 
@@ -54,6 +55,20 @@ let measure ~iters f =
   let words = Gc.minor_words () -. w0 in
   (ms, words /. float_of_int iters)
 
+(* Allocation-diet gate for the flat driver: a budget on minor-heap
+   words per run, derived from the workload's own audit rather than
+   hardcoded per workload, so new replay workloads are covered the day
+   they are added.  The coefficients were fitted to the scratch-reusing
+   driver (roughly 34 words/message for the payload conses and delivery,
+   70 words/round of loop overhead, ~350 fixed) with 10–17% headroom —
+   tight enough that the pre-diet driver (which consed a per-round count
+   list and rebuilt closures every round: 3049/4153/7047 words on
+   torus4/grid5/gnp24) fails all three workloads. *)
+let minor_words_budget (audit : Network.audit) =
+  350.0
+  +. (34.0 *. float_of_int audit.Network.total_messages)
+  +. (70.0 *. float_of_int audit.Network.rounds)
+
 let driver_stats name ~iters ~(audit : Network.audit) (ms, words_per_run) =
   let secs = ms /. 1000.0 in
   let runs = float_of_int iters in
@@ -78,10 +93,19 @@ let bench_drivers ~iters (wname, g) =
       failwith
         (Printf.sprintf "sim: driver audits diverge on %s: %s" wname
            (String.concat "; " diffs)));
-  let name, obj, flat_ms = driver_stats "flat" ~iters ~audit:a_flat (measure ~iters flat) in
+  let flat_ms_words = measure ~iters flat in
+  let name, obj, flat_ms = driver_stats "flat" ~iters ~audit:a_flat flat_ms_words in
   let rname, robj, ref_ms =
     driver_stats "reference" ~iters ~audit:a_ref (measure ~iters reference)
   in
+  let words_budget = minor_words_budget a_flat in
+  let flat_words = snd flat_ms_words in
+  if flat_words > words_budget then
+    failwith
+      (Printf.sprintf
+         "sim: flat driver allocation regression on %s: %.0f minor words per \
+          run exceeds the %.0f-word budget (34/message + 70/round + 350)"
+         wname flat_words words_budget);
   let speedup = ref_ms /. flat_ms in
   Printf.printf
     "  %-7s n=%-3d m=%-3d rounds=%-3d msgs=%-4d  flat %.1f ms, reference %.1f ms  => %.2fx\n%!"
@@ -99,6 +123,7 @@ let bench_drivers ~iters (wname, g) =
         ("iterations", Json.Int iters);
         (name, obj);
         (rname, robj);
+        ("minor_words_budget", Json.Float words_budget);
         ("speedup_flat_over_reference", Json.Float speedup);
         ("audits_equal", Json.Bool true);
       ] )
@@ -109,6 +134,7 @@ let bench_parallel ~solves g =
         Api.min_cut ~params:Params.fast ~algorithm:Api.Exact_small_lambda
           ~seed:i ~workers g)
   in
+  let stats0 = Pool.stats () in
   let seq = solve 1 () in
   let t0 = Unix.gettimeofday () in
   let seq2 = solve 1 () in
@@ -116,22 +142,59 @@ let bench_parallel ~solves g =
   let t0 = Unix.gettimeofday () in
   let par = solve 4 () in
   let par_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let t0 = Unix.gettimeofday () in
+  let par2 = solve 4 () in
+  let par2_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let stats1 = Pool.stats () in
   let identical =
     Array.for_all2 Workloads.identical seq par
     && Array.for_all2 Workloads.identical seq seq2
+    && Array.for_all2 Workloads.identical seq par2
   in
   if not identical then
     failwith "sim: parallel exact pipeline diverged from sequential";
+  (* the pool is persistent: the second parallel pass must reuse the
+     domains the first one spawned, and the two passes together ran
+     every per-tree job through the counted entry point *)
+  let spawned = stats1.Pool.spawns - stats0.Pool.spawns in
+  if spawned > 3 then
+    failwith
+      (Printf.sprintf
+         "sim: pool spawned %d domains for two workers=4 passes; a \
+          persistent pool spawns at most 3 and reuses them"
+         spawned);
+  if stats1.Pool.tasks <= stats0.Pool.tasks then
+    failwith "sim: pool task counter did not advance across the solves";
+  let par_ms = min par_ms par2_ms in
   let speedup = seq_ms /. par_ms in
   let host_cores = Domain.recommended_domain_count () in
   Printf.printf
     "  parallel exact: %d solves, workers 1: %.1f ms, workers 4: %.1f ms \
      => %.2fx, bit-identical=%b (host cores: %d)\n%!"
     solves seq_ms par_ms speedup identical host_cores;
-  if host_cores <= 1 then
+  Printf.printf
+    "  pool: %d domains spawned this bench, %d tasks, %d steals, %d \
+     batches (process totals: %d spawns)\n%!"
+    spawned
+    (stats1.Pool.tasks - stats0.Pool.tasks)
+    (stats1.Pool.steals - stats0.Pool.steals)
+    (stats1.Pool.batches - stats0.Pool.batches)
+    stats1.Pool.spawns;
+  (* the speedup gate is only a statement about parallel hardware; a
+     1-core host measures scheduling overhead, so it skips with a
+     reason instead of failing *)
+  if host_cores > 1 then begin
+    if speedup < 1.0 then
+      failwith
+        (Printf.sprintf
+           "sim: parallelism does not pay on a %d-core host: workers=4 ran \
+            %.2fx the speed of workers=1 (gate: >= 1.0)"
+           host_cores speedup)
+  end
+  else
     Printf.printf
-      "  WARNING: host reports 1 core; speedup_par_over_seq measures \
-       scheduling overhead, not parallelism\n%!";
+      "  SKIP speedup gate: host reports 1 core; speedup_par_over_seq \
+       measures scheduling overhead, not parallelism\n%!";
   Json.Obj
     [
       ("solves", Json.Int solves);
@@ -142,6 +205,15 @@ let bench_parallel ~solves g =
       ("speedup_meaningful", Json.Bool (host_cores > 1));
       ("bit_identical", Json.Bool identical);
       ("host_cores", Json.Int host_cores);
+      ( "pool",
+        Json.Obj
+          [
+            ("spawns", Json.Int spawned);
+            ("tasks", Json.Int (stats1.Pool.tasks - stats0.Pool.tasks));
+            ("steals", Json.Int (stats1.Pool.steals - stats0.Pool.steals));
+            ("batches", Json.Int (stats1.Pool.batches - stats0.Pool.batches));
+            ("spawns_process_total", Json.Int stats1.Pool.spawns);
+          ] );
     ]
 
 (* The chunked-store n-ladder: stream-generate torus stores (up to
@@ -199,6 +271,41 @@ let bench_store_ladder () =
   let report = Scaling.fit_store (List.map (fun (s, _, _) -> s) points) in
   List.iter (fun line -> Printf.printf "  %s\n%!" line) (Scaling.describe report);
   if not report.Scaling.ok then failwith "sim: store ladder envelope fits failed";
+  (* ROADMAP's bounded-memory gate: climbing the full ladder may only
+     grow the process high-water mark by what the chunk budget allows —
+     a few multiples of the top rung's residency budget (chunk cache +
+     loaded-chunk scratch) plus the O(n) traversal arrays (~128 B/node
+     covers the BFS/upcast/DP per-node state) and fixed allocator
+     slack.  A store that silently keeps whole rungs resident blows
+     through this long before the n >= 1e5 point.  Quick mode skips:
+     its rungs are too small for RSS deltas to mean anything. *)
+  (if !quick then
+     Printf.printf
+       "  SKIP rss gate: quick ladder rungs are below RSS measurement noise\n%!"
+   else
+     let rungs =
+       List.filter_map (fun (s, _, rss) -> Option.map (fun kb -> (s, kb)) rss) points
+     in
+     match (rungs, List.rev rungs) with
+     | (s0, kb0) :: _, (sn, kbn) :: _ when sn.Scaling.st_n > s0.Scaling.st_n ->
+         let budget_kb = sn.Scaling.st_stats.Residency.budget / 1024 in
+         let scratch_kb = sn.Scaling.st_n * 128 / 1024 in
+         let allowed_kb = (2 * budget_kb) + scratch_kb + 8192 in
+         let growth_kb = kbn - kb0 in
+         Printf.printf
+           "  rss gate: n=%d..%d grew peak rss by %d kB (allowed %d kB = \
+            2x%d budget + %d scratch + 8192 slack)\n%!"
+           s0.Scaling.st_n sn.Scaling.st_n growth_kb allowed_kb budget_kb
+           scratch_kb;
+         if growth_kb > allowed_kb then
+           failwith
+             (Printf.sprintf
+                "sim: store ladder peak rss grew %d kB from n=%d to n=%d; \
+                 the chunk budget only allows %d kB"
+                growth_kb s0.Scaling.st_n sn.Scaling.st_n allowed_kb)
+     | _ ->
+         Printf.printf
+           "  SKIP rss gate: peak-rss readings unavailable on this host\n%!");
   Json.Obj
     [
       ( "points",

@@ -155,7 +155,15 @@ let solve_cmd =
     let doc = "Run the distributed O(D)-round certification of the answer." in
     Arg.(value & flag & info [ "certify" ] ~doc)
   in
-  let run file family size seed weight_max algo epsilon trees show_side breakdown check certify =
+  let estimate_first_arg =
+    let doc =
+      "Run the sampling λ-estimate ladder first and cap the tree-packing \
+       budget with its upper bound (exact algorithm only; the answer is \
+       unchanged, the packing may be smaller)."
+    in
+    Arg.(value & flag & info [ "estimate-first" ] ~doc)
+  in
+  let run file family size seed weight_max algo epsilon trees show_side breakdown check certify estimate_first =
     match load_graph file family size seed weight_max with
     | Error e ->
         prerr_endline e;
@@ -175,7 +183,23 @@ let solve_cmd =
             prerr_endline e;
             1
         | Ok algorithm ->
-            let s = Api.min_cut ~params:Params.fast ~algorithm ~seed ?trees g in
+            let lambda_upper =
+              if not estimate_first then None
+              else begin
+                let module E = Mincut_core.Sample_estimate in
+                let est = Api.estimate ~seed g in
+                Printf.printf
+                  "estimate:  λ in [%d, %d] (point %d; %d levels x %d tests, \
+                   %d rounds)\n"
+                  est.E.lower est.E.upper est.E.estimate est.E.levels_tried
+                  est.E.trials_per_level est.E.cost.Mincut_congest.Cost.rounds;
+                E.tree_budget_hint est
+              end
+            in
+            let s =
+              Api.min_cut ~params:Params.fast ~algorithm ~seed ?lambda_upper
+                ?trees g
+            in
             Printf.printf "algorithm: %s\n" (Api.algorithm_name algorithm);
             Printf.printf "cut value: %d\n" s.Api.value;
             Printf.printf "rounds:    %d (simulated CONGEST)\n" s.Api.rounds;
@@ -240,7 +264,58 @@ let solve_cmd =
     Term.(
       const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg
       $ algorithm_arg $ epsilon_arg $ trees_arg $ side_arg $ breakdown_arg $ check_arg
-      $ certify_arg)
+      $ certify_arg $ estimate_first_arg)
+
+(* ---- estimate --------------------------------------------------------- *)
+
+let estimate_cmd =
+  let trials_arg =
+    let doc = "Connectivity tests per sampling level (default: 4·log₂n-ish)." in
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"T" ~doc)
+  in
+  let check_arg =
+    let doc = "Compare the bracket against Stoer-Wagner ground truth." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let breakdown_arg =
+    let doc = "Print the ladder's scheduled span tree." in
+    Arg.(value & flag & info [ "breakdown" ] ~doc)
+  in
+  let run file family size seed weight_max trials check breakdown =
+    match load_graph file family size seed weight_max with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok g ->
+        let module E = Mincut_core.Sample_estimate in
+        let r = Api.estimate ~seed ?trials g in
+        Printf.printf "estimate:  %d\n" r.E.estimate;
+        Printf.printf "bracket:   [%d, %d] (factor %d)\n" r.E.lower r.E.upper
+          r.E.factor;
+        Printf.printf "ladder:    %d levels x %d tests%s\n" r.E.levels_tried
+          r.E.trials_per_level
+        (if r.E.saturated then " (saturated: no disconnection found)" else "");
+        Printf.printf "rounds:    %d (scheduled CONGEST)\n"
+          r.E.cost.Mincut_congest.Cost.rounds;
+        if breakdown then
+          Format.printf "%a@." Mincut_congest.Cost.pp r.E.cost;
+        if check && Graph.n g <= 400 then begin
+          let truth = (Stoer_wagner.run g).Stoer_wagner.value in
+          let inside = r.E.lower <= truth && truth <= r.E.upper in
+          Printf.printf "ground truth: %d (%s)\n" truth
+            (if inside then "inside bracket" else "OUTSIDE BRACKET");
+          if not inside then exit 1
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Bracket the min cut with the geometric edge-sampling ladder \
+          (O(log n)-factor estimate from O(log^2 n) connectivity tests)")
+    Term.(
+      const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg
+      $ trials_arg $ check_arg $ breakdown_arg)
 
 (* ---- trace ------------------------------------------------------------ *)
 
@@ -439,4 +514,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; info_cmd; solve_cmd; trace_cmd; serve_cmd; stats_cmd ]))
+          [
+            generate_cmd;
+            info_cmd;
+            solve_cmd;
+            estimate_cmd;
+            trace_cmd;
+            serve_cmd;
+            stats_cmd;
+          ]))

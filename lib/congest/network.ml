@@ -135,12 +135,66 @@ let shadow_check ~prog ~node ~round ~inbox st state' outs =
   replay (List.rev inbox);
   replay (shuffle ~seed:((node * 1_000_003) + round) inbox)
 
+(* Per-domain scratch for [drive]'s monomorphic round structures.
+
+   A solve is hundreds of [drive] calls over small graphs, so the
+   per-call [Array.make]s of the slot registries dominated the driver's
+   minor-heap traffic.  The int/bool scratch is domain-local (each pool
+   worker reuses its own across calls; no sharing, no locks) and
+   versioned so reuse needs no per-call refill:
+
+   - [stamp]/[slot_of] are token-versioned, and [token] is monotone
+     across calls, so stale stamps from earlier drives can never equal
+     a fresh token.
+   - [sent_round] stores [epoch + r]; [epoch] advances past every stamp
+     the previous call wrote (see [finally]), so stale entries can never
+     collide with the current call's duplicate check.  Zero-initialized
+     growth is safe because [epoch] starts at 1.
+   - [slot_load] accumulates genuine per-run totals, so it alone is
+     [Array.fill]ed (no allocation) on entry.
+   - [counts] is a growable per-round message-count buffer replacing
+     the old cons-per-round list.
+
+   The polymorphic structures (states, double-buffered mailboxes) and
+   the message payloads still allocate per call — they carry the 'msg
+   type and cannot be cached monomorphically. *)
+type scratch = {
+  mutable sent_round : int array;  (* per slot: epoch-stamped last-send round *)
+  mutable slot_load : int array;   (* per slot: messages over the whole run *)
+  mutable stamp : int array;       (* per node: sender-row token *)
+  mutable slot_of : int array;     (* per node: sender's CSR slot towards it *)
+  mutable halted : bool array;     (* per node: monotone halt flags *)
+  mutable counts : int array;      (* per round: messages sent *)
+  mutable token : int;             (* monotone across calls; >= 1 in use *)
+  mutable epoch : int;             (* monotone across calls; >= 1 *)
+  mutable in_use : bool;           (* re-entrant drive gets fresh scratch *)
+}
+
+let fresh_scratch () =
+  {
+    sent_round = [||];
+    slot_load = [||];
+    stamp = [||];
+    slot_of = [||];
+    halted = [||];
+    counts = [||];
+    token = 0;
+    epoch = 1;
+    in_use = false;
+  }
+
+let scratch_key : scratch Domain.DLS.key = Domain.DLS.new_key fresh_scratch
+
+let grown_int a len = Array.make (max len (2 * Array.length a)) 0
+
 (* Shared driver.  [stop] decides termination given (round, all_halted,
    traffic_pending).
 
-   Hot-path layout: every per-round structure is a flat array allocated
-   once per [drive] and indexed by the graph's CSR slots, so a round
-   allocates nothing beyond the message payloads themselves.
+   Hot-path layout: every per-round structure is a flat array indexed
+   by the graph's CSR slots — reused across calls through the
+   domain-local [scratch] — so a round allocates nothing beyond the
+   message payloads themselves, and a whole run allocates little
+   beyond states and mailboxes.
 
    - Mailboxes are double-buffered list arrays.  Senders are stepped in
      descending node order, so consing onto the destination's next-round
@@ -149,50 +203,113 @@ let shadow_check ~prog ~node ~round ~inbox st state' outs =
      round are independent, so the processing order is unobservable
      except through delivery order, which this preserves.)
    - The duplicate-send registry and per-directed-edge word counters are
-     arrays indexed by CSR slot; storing the round number of the last
-     send makes entries self-invalidating, so there is no per-round
-     reset at all ("dirty list" of size zero).
+     arrays indexed by CSR slot; storing the epoch-stamped round of the
+     last send makes entries self-invalidating, so there is no per-round
+     (or even per-call) reset at all ("dirty list" of size zero).
    - Neighbor membership and directed-slot lookup are answered by
      stamping the sender's CSR row into two scratch arrays (token-
      versioned, so stamps too need no reset): O(deg) per *sending* node
-     per round, then O(1) per message. *)
+     per round, then O(1) per message.
+   - Message validation and delivery run in [deliver], one closure per
+     call rather than one per stepped node per round. *)
 let drive ?(cfg = Config.default) ?probe ~words ~stop g prog =
   let n = Graph.n g in
   let off = Graph.csr_offsets g in
   let nbr = Graph.csr_neighbors g in
   let slots = Array.length nbr in
+  let sc0 = Domain.DLS.get scratch_key in
+  let sc = if sc0.in_use then fresh_scratch () else sc0 in
+  sc.in_use <- true;
+  if Array.length sc.sent_round < slots then begin
+    sc.sent_round <- grown_int sc.sent_round slots;
+    sc.slot_load <- grown_int sc.slot_load slots
+  end;
+  if Array.length sc.stamp < n then begin
+    sc.stamp <- grown_int sc.stamp n;
+    sc.slot_of <- grown_int sc.slot_of n;
+    sc.halted <- Array.make (max n (2 * Array.length sc.halted)) false
+  end;
+  if Array.length sc.counts = 0 then sc.counts <- Array.make 64 0;
+  let epoch = sc.epoch in
+  let sent_round = sc.sent_round in
+  let slot_load = sc.slot_load in
+  Array.fill slot_load 0 slots 0;
+  let stamp = sc.stamp in
+  let slot_of = sc.slot_of in
+  let halted = sc.halted in
   let states = Array.init n prog.initial in
   let cur : (int * _) list array = Array.make n [] in
   let next : (int * _) list array = Array.make n [] in
-  (* round of the last message on each directed slot (-1 = never): the
-     duplicate-send registry *)
-  let sent_round = Array.make slots (-1) in
-  (* messages carried by each directed slot over the whole run *)
-  let slot_load = Array.make slots 0 in
-  (* sender stamps: stamp.(u) = token marks slot_of.(u) as the current
-     sender's first CSR slot towards u *)
-  let stamp = Array.make n 0 in
-  let slot_of = Array.make n 0 in
-  let token = ref 0 in
   (* halted is a pure function of the node state, and halted nodes never
      step, so the flag set is monotone: track it incrementally instead
      of rescanning all states every round *)
-  let halted = Array.init n (fun v -> prog.halted states.(v)) in
   let live = ref 0 in
-  Array.iter (fun h -> if not h then incr live) halted;
+  for v = 0 to n - 1 do
+    let h = prog.halted states.(v) in
+    halted.(v) <- h;
+    if not h then incr live
+  done;
   let pending = ref false in
   let total_messages = ref 0 in
   let total_words = ref 0 in
-  let per_round = ref [] in
+  let sent_count = ref 0 in
   let max_words = ref 0 in
   let max_edge_words = ref 0 in
   let last_traffic_round = ref (-1) in
   let round = ref 0 in
+  let note_round_count r c =
+    if r >= Array.length sc.counts then begin
+      let bigger = Array.make (2 * Array.length sc.counts) 0 in
+      Array.blit sc.counts 0 bigger 0 (Array.length sc.counts);
+      sc.counts <- bigger
+    end;
+    sc.counts.(r) <- c
+  in
+  let rec deliver v r t outs =
+    match outs with
+    | [] -> ()
+    | (dst, payload) :: rest ->
+        if dst < 0 || dst >= n || stamp.(dst) <> t then
+          violate Non_neighbor_send ~round:r ~sender:v ~receiver:dst;
+        let s = slot_of.(dst) in
+        if sent_round.(s) = epoch + r then
+          violate Duplicate_send ~round:r ~sender:v ~receiver:dst;
+        let w = words payload in
+        if w > cfg.Config.words_per_message then
+          violate Oversized_message ~round:r ~sender:v ~receiver:dst ~words:w
+            ~budget:cfg.Config.words_per_message;
+        (* one message per channel per round (the duplicate check
+           above), so the per-round aggregate load on a directed
+           edge is exactly this payload *)
+        (match cfg.Config.strict_edge_words with
+        | Some cap when w > cap ->
+            violate Edge_overload ~round:r ~sender:v ~receiver:dst ~words:w
+              ~budget:cap
+        | _ -> ());
+        sent_round.(s) <- epoch + r;
+        slot_load.(s) <- slot_load.(s) + 1;
+        incr total_messages;
+        incr sent_count;
+        total_words := !total_words + w;
+        if w > !max_words then max_words := w;
+        if w > !max_edge_words then max_edge_words := w;
+        last_traffic_round := r;
+        next.(dst) <- (v, payload) :: next.(dst);
+        pending := true;
+        deliver v r t rest
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* advance past every sent_round stamp this call wrote, even on a
+         violation escape, and hand the scratch back *)
+      sc.epoch <- epoch + !round + 2;
+      sc.in_use <- false)
+  @@ fun () ->
   while not (stop ~round:!round ~all_halted:(!live = 0 && not !pending)) do
     if !round >= cfg.Config.max_rounds then
       violate Watchdog ~round:!round ~budget:cfg.Config.max_rounds;
     let r = !round in
-    let sent_count = ref 0 in
+    sent_count := 0;
     pending := false;
     for v = n - 1 downto 0 do
       if not halted.(v) then begin
@@ -215,8 +332,8 @@ let drive ?(cfg = Config.default) ?probe ~words ~stop g prog =
         match outs with
         | [] -> ()
         | outs ->
-            incr token;
-            let t = !token in
+            sc.token <- sc.token + 1;
+            let t = sc.token in
             for s = off.(v) to off.(v + 1) - 1 do
               let u = nbr.(s) in
               if stamp.(u) <> t then begin
@@ -224,36 +341,7 @@ let drive ?(cfg = Config.default) ?probe ~words ~stop g prog =
                 slot_of.(u) <- s
               end
             done;
-            List.iter
-              (fun (dst, payload) ->
-                if dst < 0 || dst >= n || stamp.(dst) <> t then
-                  violate Non_neighbor_send ~round:r ~sender:v ~receiver:dst;
-                let s = slot_of.(dst) in
-                if sent_round.(s) = r then
-                  violate Duplicate_send ~round:r ~sender:v ~receiver:dst;
-                let w = words payload in
-                if w > cfg.Config.words_per_message then
-                  violate Oversized_message ~round:r ~sender:v ~receiver:dst
-                    ~words:w ~budget:cfg.Config.words_per_message;
-                (* one message per channel per round (the duplicate check
-                   above), so the per-round aggregate load on a directed
-                   edge is exactly this payload *)
-                (match cfg.Config.strict_edge_words with
-                | Some cap when w > cap ->
-                    violate Edge_overload ~round:r ~sender:v ~receiver:dst
-                      ~words:w ~budget:cap
-                | _ -> ());
-                sent_round.(s) <- r;
-                slot_load.(s) <- slot_load.(s) + 1;
-                incr total_messages;
-                incr sent_count;
-                total_words := !total_words + w;
-                if w > !max_words then max_words := w;
-                if w > !max_edge_words then max_edge_words := w;
-                last_traffic_round := r;
-                next.(dst) <- (v, payload) :: next.(dst);
-                pending := true)
-              outs
+            deliver v r t outs
       end
     done;
     (* swap buffers: next already holds ascending-sender inboxes *)
@@ -261,19 +349,22 @@ let drive ?(cfg = Config.default) ?probe ~words ~stop g prog =
       cur.(v) <- next.(v);
       next.(v) <- []
     done;
-    per_round := !sent_count :: !per_round;
+    note_round_count r !sent_count;
     incr round
   done;
-  let max_edge_load = Array.fold_left max 0 slot_load in
+  let max_edge_load = ref 0 in
+  for s = 0 to slots - 1 do
+    if slot_load.(s) > !max_edge_load then max_edge_load := slot_load.(s)
+  done;
   let audit =
     {
       rounds = !round;
       total_messages = !total_messages;
       total_words = !total_words;
       max_words = !max_words;
-      max_edge_load;
+      max_edge_load = !max_edge_load;
       max_edge_words = !max_edge_words;
-      messages_per_round = Array.of_list (List.rev !per_round);
+      messages_per_round = Array.sub sc.counts 0 !round;
     }
   in
   (states, audit, !last_traffic_round)

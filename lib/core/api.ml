@@ -36,8 +36,10 @@ let of_cost algorithm value side (cost : Cost.t) =
     breakdown = Cost.breakdown cost;
   }
 
+let estimate ?seed ?trials g = Sample_estimate.run ?seed ?trials g
+
 let min_cut ?(params = Params.default) ?(algorithm = Exact_small_lambda) ?(seed = 0)
-    ?trees ?(workers = 1) g =
+    ?lambda_upper ?trees ?(workers = 1) g =
   if workers < 1 then invalid_arg "Api.min_cut: workers must be >= 1";
   let rng = Rng.create seed in
   (* the pool only changes who computes what, never the answer: every
@@ -49,7 +51,7 @@ let min_cut ?(params = Params.default) ?(algorithm = Exact_small_lambda) ?(seed 
   in
   match algorithm with
   | Exact_small_lambda ->
-      let r = Exact.run ~params ~pool ?trees g in
+      let r = Exact.run ~params ~pool ?lambda_upper ?trees g in
       of_cost algorithm r.Exact.value r.Exact.side r.Exact.cost
   | Exact_two_respect ->
       let r = Two_respect.min_cut ~params ~pool ?trees g in

@@ -30,17 +30,27 @@ type summary = {
                                          execution order *)
 }
 
+val estimate :
+  ?seed:int -> ?trials:int -> Mincut_graph.Graph.t -> Sample_estimate.result
+(** The geometric edge-sampling λ-estimate ({!Sample_estimate.run}):
+    an [O(log n)]-factor bracket on the min cut from [O(log²n)]
+    connectivity tests — serve's "approximate answer now, exact later"
+    tier, and the packing-budget cap for [lambda_upper] below. *)
+
 val min_cut :
   ?params:Params.t ->
   ?algorithm:algorithm ->
   ?seed:int ->
+  ?lambda_upper:int ->
   ?trees:int ->
   ?workers:int ->
   Mincut_graph.Graph.t ->
   summary
 (** Run the chosen algorithm (default [Exact_small_lambda]) on a graph
     with n ≥ 2.  [seed] (default 0) drives the randomized algorithms;
-    [trees] overrides the packing budget.
+    [trees] overrides the packing budget; [lambda_upper] (typically a
+    {!Sample_estimate} [upper]) tightens the default budget of the
+    [Exact_small_lambda] pipeline without changing its answer.
 
     [workers] (default 1) fans independent per-tree solves over that
     many domains for the [Exact_small_lambda], [Exact_two_respect] and

@@ -22,7 +22,8 @@ let min_weighted_degree g =
   done;
   !best
 
-let run ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
+let run ?(params = Params.default) ?(pool = Pool.sequential) ?lambda_upper
+    ?trees g =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Exact.run: need n >= 2";
   if not (Bfs.is_connected g) then
@@ -56,7 +57,17 @@ let run ?(params = Params.default) ?(pool = Pool.sequential) ?trees g =
     let trees =
       match trees with
       | Some t -> t
-      | None -> Tree_packing.recommended_trees ~n ~lambda_hint:(min_weighted_degree g)
+      | None ->
+          (* the packing budget scales with the best available upper
+             bound on λ: the weighted-degree bound always holds, and a
+             sampling-ladder estimate (Sample_estimate) tightens it
+             when the degrees are loose *)
+          let hint =
+            match lambda_upper with
+            | Some u -> min (min_weighted_degree g) (max 1 u)
+            | None -> min_weighted_degree g
+          in
+          Tree_packing.recommended_trees ~n ~lambda_hint:hint
     in
     let packing = Tree_packing.greedy g ~trees in
     let diameter = Tree.height (Tree.bfs_tree g ~root:0) in

@@ -28,13 +28,17 @@ type result = {
 val run :
   ?params:Params.t ->
   ?pool:Mincut_parallel.Pool.t ->
+  ?lambda_upper:int ->
   ?trees:int ->
   Mincut_graph.Graph.t ->
   result
 (** [trees] defaults to
-    [Tree_packing.recommended_trees ~lambda_hint:(min weighted degree)].
-    Requires n ≥ 2; returns the 0-cut with a component side when the
-    graph is disconnected.
+    [Tree_packing.recommended_trees ~lambda_hint:(min weighted degree)];
+    [lambda_upper] (e.g. {!Sample_estimate.result}'s [upper]) tightens
+    the hint to [min (min weighted degree) lambda_upper], pruning the
+    packing budget before any tree is built.  An explicit [trees]
+    overrides both.  Requires n ≥ 2; returns the 0-cut with a component
+    side when the graph is disconnected.
 
     [pool] (default sequential) fans the per-tree 1-respecting DP
     instances over domains; results are merged in tree index order, so

@@ -1,0 +1,54 @@
+(** Geometric edge-sampling connectivity estimator for λ.
+
+    The comm-avoiding ladder (SNIPPETS.md Snippet 3, in the spirit of
+    Ghaffari–Kuhn's sampling-based approximation): sample every unit of
+    edge weight with probability [p = 2{^-i}] for levels [i = 1, 2, …],
+    run [O(log n)] independent connectivity tests per level, and stop at
+    the first level where any sampled subgraph disconnects.  By Karger's
+    sampling lemma a skeleton stays connected w.h.p. while
+    [p·λ ≳ log n], so the first disconnection lands at
+    [2{^i} ≈ λ / Θ(log n)]: the point estimate [2{^i}] brackets λ within
+    an [O(log n)] factor — computed from [O(log²n)] cheap BFS passes,
+    never touching the tree-packing machinery.
+
+    Two uses (ROADMAP item 5):
+    - a cheap "approximate answer now, exact later" tier for serve, and
+    - [upper] caps the packing budget of the exact pass
+      ({!Exact.run}'s [lambda_upper]), pruning trees when the weighted
+      degree bound is loose.
+
+    Deterministic: all sampling is drawn from a {!Mincut_util.Rng}
+    seeded explicitly; the same seed gives the same ladder, estimate
+    and cost on every run. *)
+
+type result = {
+  estimate : int;
+      (** the point estimate [2{^level}] (capped at the total weight);
+          [0] for a disconnected input *)
+  lower : int;  (** claimed bracket: [lower <= λ <= upper] *)
+  upper : int;
+  level : int;
+      (** first sampling level with a disconnected trial; equals
+          [levels_tried] when the ladder ran out ([saturated]) *)
+  levels_tried : int;      (** levels the ladder visited *)
+  trials_per_level : int;  (** independent connectivity tests per level *)
+  factor : int;            (** the [O(log n)] bracket half-width *)
+  saturated : bool;
+      (** no level disconnected: λ is at least [2{^levels_tried}]-ish
+          and [estimate] is only a floor *)
+  cost : Mincut_congest.Cost.t;
+      (** scheduled spans, one per visited level: a pipelined flood of
+          [trials_per_level] connectivity tests costs
+          [D + 2 + trials - 1] rounds *)
+}
+
+val run : ?seed:int -> ?trials:int -> Mincut_graph.Graph.t -> result
+(** [trials] (default [max 4 ⌈log₂ n⌉]) is the per-level test count;
+    more trials tighten the level at which a disconnection is caught.
+    Requires n ≥ 2.  A disconnected input short-circuits to the exact
+    answer [estimate = lower = upper = 0]. *)
+
+val tree_budget_hint : result -> int option
+(** The packing-budget cap this estimate justifies: [Some upper] when
+    the ladder found a disconnection, [None] when it saturated or the
+    input was disconnected (no useful upper bound). *)

@@ -13,10 +13,13 @@ type solve_args = {
   deadline_ms : float option;
 }
 
+type estimate_args = { esource : source; eseed : int; etrials : int option }
+
 type command =
   | Graph_def of { name : string; n : int; m : int }
   | Solve of solve_args
   | Submit of solve_args
+  | Estimate of estimate_args
   | Flush
   | Stats
   | Ping
@@ -58,19 +61,20 @@ let float_arg args key =
       | Some f -> Ok (Some f)
       | None -> Error (Printf.sprintf "%s: expected a number, got %S" key v))
 
+let parse_source args =
+  match (List.assoc_opt "graph" args, List.assoc_opt "family" args) with
+  | Some name, None -> Ok (Named name)
+  | None, Some family ->
+      let* size = int_arg args "size" 64 in
+      let* gseed = int_arg args "gseed" 0 in
+      let* weight_max = int_arg args "wmax" 1 in
+      Ok (Family { family; size; gseed; weight_max })
+  | Some _, Some _ -> Error "give either graph= or family=, not both"
+  | None, None -> Error "missing graph source: graph=<name> or family=<fam>"
+
 let parse_solve_args toks =
   let* args = kv_args toks in
-  let* source =
-    match (List.assoc_opt "graph" args, List.assoc_opt "family" args) with
-    | Some name, None -> Ok (Named name)
-    | None, Some family ->
-        let* size = int_arg args "size" 64 in
-        let* gseed = int_arg args "gseed" 0 in
-        let* weight_max = int_arg args "wmax" 1 in
-        Ok (Family { family; size; gseed; weight_max })
-    | Some _, Some _ -> Error "give either graph= or family=, not both"
-    | None, None -> Error "missing graph source: graph=<name> or family=<fam>"
-  in
+  let* source = parse_source args in
   let* epsilon =
     let* e = float_arg args "epsilon" in
     Ok (Option.value e ~default:0.5)
@@ -97,6 +101,20 @@ let parse_solve_args toks =
   let* deadline_ms = float_arg args "deadline-ms" in
   Ok { source; algorithm; seed; trees; priority; deadline_ms }
 
+let parse_estimate_args toks =
+  let* args = kv_args toks in
+  let* esource = parse_source args in
+  let* eseed = int_arg args "seed" 0 in
+  let* etrials =
+    match List.assoc_opt "trials" args with
+    | None -> Ok None
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some i when i >= 1 -> Ok (Some i)
+        | _ -> Error (Printf.sprintf "trials: expected a positive integer, got %S" v))
+  in
+  Ok { esource; eseed; etrials }
+
 let parse line =
   let line =
     match String.index_opt line '#' with
@@ -120,6 +138,9 @@ let parse line =
       | "SUBMIT" ->
           let* args = parse_solve_args rest in
           Ok (Submit args)
+      | "ESTIMATE" ->
+          let* args = parse_estimate_args rest in
+          Ok (Estimate args)
       | "FLUSH" -> Ok Flush
       | "STATS" -> Ok Stats
       | "PING" -> Ok Ping
@@ -133,11 +154,22 @@ let format_response (r : Request.response) =
     r.Request.summary.Api.value r.Request.summary.Api.rounds r.Request.cached
     r.Request.elapsed_ms r.Request.key
 
+let format_estimate ~elapsed_ms (r : Mincut_core.Sample_estimate.result) =
+  Printf.sprintf
+    "estimate=%d lower=%d upper=%d level=%d trials=%d rounds=%d saturated=%b \
+     ms=%.3f"
+    r.Mincut_core.Sample_estimate.estimate r.Mincut_core.Sample_estimate.lower
+    r.Mincut_core.Sample_estimate.upper r.Mincut_core.Sample_estimate.level
+    r.Mincut_core.Sample_estimate.trials_per_level
+    r.Mincut_core.Sample_estimate.cost.Mincut_congest.Cost.rounds
+    r.Mincut_core.Sample_estimate.saturated elapsed_ms
+
 let help_lines =
   [
     "GRAPH <name> <n> <m>   register a graph; next m lines: u v w";
     "SOLVE graph=<name>|family=<fam> [size= gseed= wmax=] [algo=exact|exact2|approx|gk|su] [epsilon=] [seed=] [trees=]";
     "SUBMIT <solve args> [priority=] [deadline-ms=]   -> QUEUED <ticket>";
+    "ESTIMATE graph=<name>|family=<fam> [size= gseed= wmax=] [seed=] [trials=]   sampling-ladder bracket on λ";
     "FLUSH                  run pending batches -> RESULT lines + DONE";
     "STATS                  one-line JSON metrics snapshot";
     "PING | HELP | QUIT | SHUTDOWN";

@@ -8,6 +8,7 @@
                              lines are "u v w" edges (0-based endpoints)
     SOLVE <args>             solve synchronously through the cache
     SUBMIT <args>            enqueue; answered by the next FLUSH
+    ESTIMATE <args>          sampling-ladder λ bracket, no exact solve
     FLUSH                    drain the queue as coalesced batches on the
                              worker pool; RESULT line per ticket + DONE
     STATS                    one-line JSON metrics snapshot
@@ -20,6 +21,13 @@
     [wmax=] for a generator from the workload zoo — plus [algo=]
     (exact|exact2|approx|gk|su), [epsilon=], [seed=], [trees=], and for
     SUBMIT [priority=] and [deadline-ms=].
+
+    [ESTIMATE] arguments: a graph source as above, plus [seed=] and
+    [trials=] (connectivity tests per ladder level).  It answers from
+    the {!Mincut_core.Sample_estimate} geometric sampling ladder — an
+    [O(log n)]-factor bracket on λ in [O(log² n)] simulated rounds,
+    never a full solve — so it is the cheap "answer now" tier in front
+    of [SOLVE].
 
     Responses: [OK …] / [QUEUED <ticket>] / [RESULT <ticket> …] /
     [DONE <count>] / [STATS <json>] / [PONG] / [BYE] / [ERR <message>]. *)
@@ -37,10 +45,17 @@ type solve_args = {
   deadline_ms : float option;  (** relative; server anchors it at submit time *)
 }
 
+type estimate_args = {
+  esource : source;
+  eseed : int;
+  etrials : int option;  (** connectivity tests per ladder level *)
+}
+
 type command =
   | Graph_def of { name : string; n : int; m : int }
   | Solve of solve_args
   | Submit of solve_args
+  | Estimate of estimate_args
   | Flush
   | Stats
   | Ping
@@ -55,5 +70,10 @@ val parse : string -> (command, string) result
 val format_response : Request.response -> string
 (** The [key=value] tail shared by [OK] and [RESULT] lines:
     [value=… rounds=… cached=… ms=… key=…]. *)
+
+val format_estimate :
+  elapsed_ms:float -> Mincut_core.Sample_estimate.result -> string
+(** The [key=value] tail of an [ESTIMATE] response:
+    [estimate=… lower=… upper=… level=… trials=… rounds=… saturated=… ms=…]. *)
 
 val help_lines : string list

@@ -137,6 +137,15 @@ let handle_command session cmd =
           | resp -> io.write_line ("OK " ^ Protocol.format_response resp)
           | exception e -> err session "solve failed: %s" (Printexc.to_string e)));
       None
+  | Protocol.Estimate { esource; eseed; etrials } ->
+      (match resolve_source session esource with
+      | Error e -> err session "%s" e
+      | Ok g -> (
+          match Service.estimate session.service ~seed:eseed ?trials:etrials g with
+          | r, elapsed_ms ->
+              io.write_line ("OK " ^ Protocol.format_estimate ~elapsed_ms r)
+          | exception e -> err session "estimate failed: %s" (Printexc.to_string e)));
+      None
   | Protocol.Submit args ->
       (match request_of_args session args with
       | Error e -> err session "%s" e

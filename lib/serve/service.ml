@@ -33,6 +33,9 @@ type t = {
   batches : Metrics.counter;
   rounds_charged : Metrics.counter;
   deadline_missed : Metrics.counter;
+  estimates : Metrics.counter;
+  estimate_rounds : Metrics.counter;
+  estimate_ms : Metrics.histogram;
   cold_ms : Metrics.histogram;
   warm_ms : Metrics.histogram;
   q_depth : Metrics.gauge;
@@ -94,6 +97,9 @@ let create ?(config = default_config) () =
     batches = Metrics.counter metrics "batches_solved";
     rounds_charged = Metrics.counter metrics "rounds_charged";
     deadline_missed = Metrics.counter metrics "deadlines_missed";
+    estimates = Metrics.counter metrics "estimates_served";
+    estimate_rounds = Metrics.counter metrics "rounds_estimate";
+    estimate_ms = Metrics.histogram metrics "estimate_ms";
     cold_ms = Metrics.histogram metrics "solve_cold_ms";
     warm_ms = Metrics.histogram metrics "solve_warm_ms";
     q_depth = Metrics.gauge metrics "queue_depth";
@@ -144,6 +150,21 @@ let solve t r =
   note_completion t r now;
   refresh_gauges t;
   { Request.summary; cached; key; elapsed_ms }
+
+(* the cheap tier: a sampling-ladder bracket on λ, never a full solve.
+   Estimates stay out of the summary cache (they are not Api.summary
+   values, and re-running the ladder costs O(log² n) simulated rounds —
+   less than a cache probe is worth protecting); their rounds are
+   charged to their own counter so solve round-accounting stays pure. *)
+let estimate t ?seed ?trials g =
+  let t0 = Unix.gettimeofday () in
+  let r = Api.estimate ?seed ?trials (Graph_key.canonicalize g) in
+  Metrics.incr t.estimates;
+  Metrics.incr ~by:r.Mincut_core.Sample_estimate.cost.Cost.rounds
+    t.estimate_rounds;
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Metrics.observe t.estimate_ms elapsed_ms;
+  (r, elapsed_ms)
 
 let submit t r =
   Metrics.incr t.submitted;

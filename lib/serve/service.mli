@@ -45,6 +45,20 @@ val key_of_request : t -> Request.t -> string
 
 val solve : t -> Request.t -> Request.response
 
+val estimate :
+  t ->
+  ?seed:int ->
+  ?trials:int ->
+  Mincut_graph.Graph.t ->
+  Mincut_core.Sample_estimate.result * float
+(** The cheap tier: {!Mincut_core.Api.estimate} on the canonicalized
+    graph — an [O(log n)]-factor bracket on λ from the geometric
+    sampling ladder, never a full solve.  Returns the result and the
+    wall-clock milliseconds spent.  Charged to the [estimates_served] /
+    [rounds_estimate] counters and the [estimate_ms] histogram, keeping
+    solve round-accounting untouched; results are not cached (a ladder
+    re-run is cheaper than a summary-cache entry). *)
+
 val submit : t -> Request.t -> Scheduler.ticket
 
 val pending : t -> int

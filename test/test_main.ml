@@ -19,6 +19,7 @@ let () =
       ("small-cuts", Test_small_cuts.suite);
       ("extensions", Test_extensions.suite);
       ("parallel", Test_parallel.suite);
+      ("estimate", Test_estimate.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
       ("analysis", Test_analysis.suite);

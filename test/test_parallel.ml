@@ -12,6 +12,7 @@ module Two_respect = Mincut_core.Two_respect
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
 
+let pool2 = Pool.create ~workers:2 ()
 let pool4 = Pool.create ~workers:4 ()
 
 let equal_cost (a : Cost.t) (b : Cost.t) =
@@ -40,6 +41,62 @@ let test_pool_first_exception () =
   | _ -> Alcotest.fail "expected an exception"
   | exception Failure msg -> check_bool "lowest-index exception wins" true (msg = "3")
 
+let test_pool_sizing () =
+  (* pure sizing policy: never oversubscribe a 1-core host, cap wide ones *)
+  check_int "recommended 0 is sequential" 1 (Pool.sizing ~recommended:0);
+  check_int "recommended 1 is sequential" 1 (Pool.sizing ~recommended:1);
+  check_int "recommended 2" 2 (Pool.sizing ~recommended:2);
+  check_int "recommended 4" 4 (Pool.sizing ~recommended:4);
+  check_int "recommended 64 capped at 8" 8 (Pool.sizing ~recommended:64);
+  check_int "default pool width follows sizing"
+    (Pool.recommended_workers ())
+    (Pool.workers (Pool.create ()))
+
+let test_pool_task_accounting () =
+  (* every job runs exactly once through the counted entry point,
+     parallel or not *)
+  let jobs = Array.init 123 Fun.id in
+  let t0 = (Pool.stats ()).Pool.tasks in
+  ignore (Pool.map pool4 (fun i -> i) jobs);
+  let t1 = (Pool.stats ()).Pool.tasks in
+  check_int "parallel map counts each job once" 123 (t1 - t0);
+  ignore (Pool.map Pool.sequential (fun i -> i) jobs);
+  let t2 = (Pool.stats ()).Pool.tasks in
+  check_int "sequential map counts each job once" 123 (t2 - t1)
+
+let test_pool_reuse_across_solves () =
+  (* the persistent pool spawns its helper domains once; later solves
+     push work through the same domains instead of spawning fresh ones *)
+  let g = Generators.torus 4 4 in
+  ignore (Exact.run ~params:Params.fast ~pool:pool4 g);
+  let s1 = Pool.stats () in
+  ignore (Exact.run ~params:Params.fast ~pool:pool4 g);
+  ignore (Two_respect.min_cut ~params:Params.fast ~pool:pool4 g);
+  let s2 = Pool.stats () in
+  check_int "no new domains after warmup" 0 (s2.Pool.spawns - s1.Pool.spawns);
+  check_bool "task counter advances across solves" true
+    (s2.Pool.tasks > s1.Pool.tasks);
+  check_bool "batch counter advances across solves" true
+    (s2.Pool.batches > s1.Pool.batches)
+
+let prop_skewed_bit_identity =
+  (* adversarial task-size skew: a few heavy jobs among many light ones
+     exercises chunk splitting and stealing; results must still come
+     back in input order at every width *)
+  qtest ~count:30 "pool: skewed task sizes identical at workers 1/2/4"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 200))
+    (fun sizes ->
+      let jobs = Array.of_list sizes in
+      let work n =
+        let acc = ref 0 in
+        for i = 1 to n * 50 do
+          acc := !acc + (i * i mod 97)
+        done;
+        (n, !acc)
+      in
+      let seq = Pool.map Pool.sequential work jobs in
+      seq = Pool.map pool2 work jobs && seq = Pool.map pool4 work jobs)
+
 let test_api_rejects_bad_workers () =
   let g = Generators.path 3 in
   check_bool "workers 0 rejected" true
@@ -65,12 +122,12 @@ let equal_exact (a : Exact.result) (b : Exact.result) =
   && a.Exact.stats = b.Exact.stats
 
 let prop_exact_parallel =
-  qtest ~count:25 "exact: workers=4 bit-identical to sequential"
+  qtest ~count:25 "exact: workers 2 and 4 bit-identical to sequential"
     (arbitrary_connected ~max_n:12 ())
     (fun g ->
-      equal_exact
-        (Exact.run ~params:Params.fast g)
-        (Exact.run ~params:Params.fast ~pool:pool4 g))
+      let seq = Exact.run ~params:Params.fast g in
+      equal_exact seq (Exact.run ~params:Params.fast ~pool:pool2 g)
+      && equal_exact seq (Exact.run ~params:Params.fast ~pool:pool4 g))
 
 let equal_approx (a : Approx.result) (b : Approx.result) =
   a.Approx.value = b.Approx.value
@@ -127,8 +184,12 @@ let suite =
     tc "pool: map preserves input order" test_pool_map_order;
     tc "pool: map_reduce folds in index order" test_pool_map_reduce_order;
     tc "pool: first exception is re-raised" test_pool_first_exception;
+    tc "pool: sizing policy" test_pool_sizing;
+    tc "pool: task accounting" test_pool_task_accounting;
+    tc "pool: domains reused across solves" test_pool_reuse_across_solves;
     tc "api: rejects workers < 1" test_api_rejects_bad_workers;
     tc "approx: rejects trials < 1" test_approx_rejects_bad_trials;
+    prop_skewed_bit_identity;
     prop_exact_parallel;
     prop_approx_parallel;
     prop_two_respect_parallel;

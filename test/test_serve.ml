@@ -395,6 +395,8 @@ let test_server_session () =
         "0 2 1";
         "SOLVE graph=tri";
         "SOLVE graph=tri";
+        "ESTIMATE graph=tri";
+        "ESTIMATE graph=nope";
         "SOLVE graph=nope";
         "BOGUS";
         "STATS";
@@ -404,13 +406,18 @@ let test_server_session () =
   let reason = Server.run (service ()) io in
   check_bool "quit reason" true (reason = Server.Quit);
   match collected () with
-  | [ pong; graph_ok; ok1; ok2; err_graph; err_verb; stats; bye ] ->
+  | [ pong; graph_ok; ok1; ok2; est; err_est; err_graph; err_verb; stats; bye ] ->
       check_string "pong" "PONG" pong;
       check_bool "graph registered" true (has_prefix ~prefix:"OK graph tri n=3 m=3" graph_ok);
       check_bool "solve ok and cold" true
         (has_prefix ~prefix:"OK value=2" ok1 && contains ~sub:"cached=false" ok1);
       check_bool "warm repeat hits" true
         (has_prefix ~prefix:"OK value=2" ok2 && contains ~sub:"cached=true" ok2);
+      check_bool "estimate answers with a bracket" true
+        (has_prefix ~prefix:"OK estimate=" est
+        && contains ~sub:"lower=" est && contains ~sub:"upper=" est);
+      check_bool "estimate on unknown graph is ERR" true
+        (has_prefix ~prefix:"ERR" err_est);
       check_bool "unknown graph is ERR" true (has_prefix ~prefix:"ERR" err_graph);
       check_bool "unknown verb is ERR" true (has_prefix ~prefix:"ERR" err_verb);
       check_bool "stats line is JSON" true (has_prefix ~prefix:"STATS {" stats);
@@ -470,6 +477,20 @@ let test_protocol_parse_errors () =
   check_bool "bad int" true (is_err "SOLVE family=ring size=abc");
   check_bool "bad algo" true (is_err "SOLVE family=ring algo=magic");
   check_bool "graph usage" true (is_err "GRAPH only-a-name");
+  check_bool "estimate needs a source" true (is_err "ESTIMATE seed=3");
+  check_bool "estimate rejects trials=0" true
+    (is_err "ESTIMATE family=ring trials=0");
+  check_bool "estimate parses" true
+    (Protocol.parse "ESTIMATE family=torus size=8 seed=3 trials=6"
+    = Ok
+        (Protocol.Estimate
+           {
+             Protocol.esource =
+               Protocol.Family
+                 { family = "torus"; size = 8; gseed = 0; weight_max = 1 };
+             eseed = 3;
+             etrials = Some 6;
+           }));
   check_bool "blank is nop" true (Protocol.parse "   " = Ok Protocol.Nop);
   check_bool "comment is nop" true (Protocol.parse "# hi" = Ok Protocol.Nop)
 
