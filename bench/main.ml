@@ -26,6 +26,7 @@ let experiments =
     ("a3", Experiments.a3);
     ("a4", Experiments.a4);
     ("serve", Workloads.serve_throughput);
+    ("delta", Delta.run);
     ("sim", Sim.run);
   ]
 

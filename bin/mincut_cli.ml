@@ -387,6 +387,129 @@ let trace_cmd =
     Term.(
       const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg $ program_arg)
 
+(* ---- delta ------------------------------------------------------------ *)
+
+let delta_cmd =
+  let module Delta = Mincut_graph.Delta in
+  let module Handle = Mincut_graph.Handle in
+  let module Incremental = Mincut_core.Incremental in
+  let stream_arg =
+    let doc =
+      "Replay the update stream in $(docv) (one op per line: $(b,add u v w), \
+       $(b,remove u v), $(b,reweight u v w), $(b,merge u v), \
+       $(b,split v w x1,x2,..); $(b,#) comments)."
+    in
+    Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"FILE" ~doc)
+  in
+  let ops_arg =
+    let doc = "Number of deltas to generate when no --stream is given." in
+    Arg.(value & opt int 1000 & info [ "ops" ] ~docv:"K" ~doc)
+  in
+  let emit_arg =
+    let doc =
+      "Print the generated stream (replayable with --stream) and exit \
+       without solving."
+    in
+    Arg.(value & flag & info [ "emit" ] ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Verify every incremental λ against a from-scratch Stoer-Wagner solve \
+       of the live graph (slow; exits 1 on any mismatch)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Print one line per applied delta." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run file family size seed weight_max stream ops emit check trace =
+    match load_graph file family size seed weight_max with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok g -> (
+        let ops_list =
+          match stream with
+          | Some path -> Delta.read_stream path
+          | None ->
+              let rng = Rng.create (seed + 1) in
+              let wmax = max 1 weight_max in
+              Ok (Generators.delta_stream ~rng ~wmax ~base:g ops)
+        in
+        match ops_list with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok ops_list ->
+            if emit then begin
+              List.iter (fun op -> print_endline (Delta.to_line op)) ops_list;
+              0
+            end
+            else begin
+              let session = Api.open_session ~params:Params.fast g in
+              Printf.printf "base:      n=%d m=%d lambda=%d\n" (Graph.n g)
+                (Graph.m g) (Api.session_lambda session);
+              let bad = ref 0 and applied = ref 0 and rejected = ref 0 in
+              List.iter
+                (fun op ->
+                  match Api.apply_delta session op with
+                  | Error e ->
+                      incr rejected;
+                      if trace then
+                        Printf.printf "  REJECT %-24s %s\n" (Delta.to_line op) e
+                  | Ok (outcome, answer) ->
+                      incr applied;
+                      if trace then
+                        Printf.printf "  v%-5d %-24s lambda=%d mode=%s\n"
+                          outcome.Handle.version (Delta.to_line op)
+                          answer.Api.lambda
+                          (Incremental.mode_name answer.Api.mode);
+                      if check then begin
+                        let live = Api.session_graph session in
+                        let truth =
+                          Stoer_wagner.min_cut_value live
+                        in
+                        if truth <> answer.Api.lambda then begin
+                          incr bad;
+                          Printf.printf
+                            "  MISMATCH at v%d (%s): incremental %d, \
+                             from-scratch %d\n"
+                            outcome.Handle.version (Delta.to_line op)
+                            answer.Api.lambda truth
+                        end
+                      end)
+                ops_list;
+              let st = Api.session_stats session in
+              let h = Api.session_handle session in
+              Printf.printf "applied:   %d deltas (%d rejected)\n" !applied
+                !rejected;
+              Printf.printf "final:     v%d n=%d channels=%d lambda=%d\n"
+                (Handle.version h) (Handle.n h) (Handle.channels h)
+                (Api.session_lambda session);
+              Printf.printf "digest:    %s\n"
+                (Mincut_util.Hash.to_hex (Handle.digest h));
+              Printf.printf
+                "tiers:     reused=%d cert=%d full=%d (fallback rate %.3f)\n"
+                st.Incremental.reused st.Incremental.cert_solves
+                st.Incremental.full_resolves
+                (Incremental.fallback_rate st);
+              if check then
+                Printf.printf "check:     %s\n"
+                  (if !bad = 0 then "every λ matches from-scratch"
+                   else Printf.sprintf "%d MISMATCHES" !bad);
+              if !bad > 0 then 1 else 0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:
+         "Replay an update stream through the incremental min-cut session \
+          (versioned handle + maintained NI certificate)")
+    Term.(
+      const run $ file_arg $ family_arg $ size_arg $ seed_arg $ weight_arg
+      $ stream_arg $ ops_arg $ emit_arg $ check_arg $ trace_arg)
+
 (* ---- serve ------------------------------------------------------------ *)
 
 let serve_cmd =
@@ -519,6 +642,7 @@ let () =
             info_cmd;
             solve_cmd;
             estimate_cmd;
+            delta_cmd;
             trace_cmd;
             serve_cmd;
             stats_cmd;

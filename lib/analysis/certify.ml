@@ -285,7 +285,7 @@ let inject_payload () =
 
 (* ---- driver -------------------------------------------------------- *)
 
-let run ?(quick = false) ?slack ?inject () =
+let run ?(quick = false) ?slack ?inject ?(extra = fun () -> []) () =
   let checks =
     match inject with
     | Some Order -> [ inject_order () ]
@@ -300,6 +300,7 @@ let run ?(quick = false) ?slack ?inject () =
           scaling_check ~quick ~slack;
           store_scaling_check ~quick ~slack;
         ]
+        @ extra ()
   in
   { checks; ok = List.for_all (fun (c : check) -> c.ok) checks }
 

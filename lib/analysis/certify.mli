@@ -28,8 +28,18 @@ type defect = Order | Span | Payload
 val defect_name : defect -> string
 val defect_of_name : string -> defect option
 
-val run : ?quick:bool -> ?slack:float -> ?inject:defect -> unit -> report
+val run :
+  ?quick:bool ->
+  ?slack:float ->
+  ?inject:defect ->
+  ?extra:(unit -> check list) ->
+  unit ->
+  report
 (** [quick] shrinks the scaling ladder (drops n = 128) for CI;
-    [slack] overrides {!Scaling.default_slack}. *)
+    [slack] overrides {!Scaling.default_slack}.  [extra] appends
+    caller-supplied checks to a normal (non-inject) run — the hook by
+    which layers {e above} this library (the serve layer certifies
+    delta/compact equivalence through it) join the certification report
+    without inverting the serve → analysis dependency. *)
 
 val to_json : report -> Mincut_util.Json.t

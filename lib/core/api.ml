@@ -73,3 +73,64 @@ let verify g summary =
   c >= 1
   && c <= Graph.n g - 1
   && Graph.cut_of_bitset g summary.side = summary.value
+
+(* ---- incremental sessions ------------------------------------------- *)
+
+type session = {
+  inc : Incremental.t;
+  sparams : Params.t;
+  (* summaries anchored to the current (λ, side)-stable generation:
+     (solve tag, generation, summary).  While the certificate proves
+     (λ, side) unchanged, a matching solve is served verbatim. *)
+  mutable anchors : (string * int * summary) list;
+}
+
+type delta_answer = Incremental.answer = {
+  lambda : int;
+  mode : Incremental.mode;
+}
+
+let open_session ?(params = Params.default) g =
+  { inc = Incremental.create g; sparams = params; anchors = [] }
+
+let apply_delta s op = Incremental.apply s.inc op
+let session_lambda s = Incremental.lambda s.inc
+let session_side s = Incremental.side s.inc
+let session_handle s = Incremental.handle s.inc
+let session_graph s = Incremental.graph s.inc
+let session_stats s = Incremental.stats s.inc
+
+let compact_session s = Incremental.compact s.inc
+
+(* the (algorithm, seed, trees) coordinates of a solve, as a stable
+   string — %h renders ε exactly *)
+let solve_tag algorithm seed trees =
+  let a =
+    match algorithm with
+    | Exact_small_lambda -> "exact"
+    | Exact_two_respect -> "exact2"
+    | Approx e -> Printf.sprintf "approx:%h" e
+    | Ghaffari_kuhn e -> Printf.sprintf "gk:%h" e
+    | Su e -> Printf.sprintf "su:%h" e
+  in
+  Printf.sprintf "%s|s%d|t%s" a seed
+    (match trees with None -> "-" | Some t -> string_of_int t)
+
+let min_cut_session ?(algorithm = Exact_small_lambda) ?(seed = 0) ?trees
+    ?(workers = 1) s =
+  let tag = solve_tag algorithm seed trees in
+  let gen = Incremental.generation s.inc in
+  s.anchors <- List.filter (fun (_, g0, _) -> g0 = gen) s.anchors;
+  match List.find_opt (fun (t0, _, _) -> String.equal t0 tag) s.anchors with
+  | Some (_, _, summary) -> (summary, true)
+  | None ->
+      (* the live certificate has λ exactly, so the packing budget is
+         seeded with the tightest valid [lambda_upper] there is *)
+      let lambda = Incremental.lambda s.inc in
+      let summary =
+        min_cut ~params:s.sparams ~algorithm ~seed
+          ~lambda_upper:(max 1 lambda) ?trees ~workers
+          (Incremental.graph s.inc)
+      in
+      s.anchors <- (tag, gen, summary) :: s.anchors;
+      (summary, false)

@@ -66,3 +66,54 @@ val one_respecting_cut :
 val verify : Mincut_graph.Graph.t -> summary -> bool
 (** Recompute [C(side)] from the definition and compare with [value] —
     cheap certification of any summary. *)
+
+(** {2 Incremental sessions}
+
+    A session wraps a {!Mincut_graph.Handle} (versioned graph: base
+    snapshot + delta log) and an {!Incremental} certificate, and reuses
+    whole summaries across versions: while the certificate proves
+    (λ, side) unchanged, {!min_cut_session} re-serves the anchored
+    summary without solving.  Fresh solves are seeded with
+    [?lambda_upper] = the certificate's exact λ — the tightest valid
+    packing-budget cap. *)
+
+type session
+
+type delta_answer = Incremental.answer = {
+  lambda : int;  (** λ of the new version *)
+  mode : Incremental.mode;  (** which tier answered (see {!Incremental}) *)
+}
+
+val open_session : ?params:Params.t -> Mincut_graph.Graph.t -> session
+(** Open at version 0; builds the initial certificate eagerly.
+    [params] is the round-accounting regime for every solve in this
+    session (default {!Params.default}). *)
+
+val apply_delta :
+  session ->
+  Mincut_graph.Delta.op ->
+  (Mincut_graph.Handle.outcome * delta_answer, string) result
+(** Apply one delta and answer λ for the new version through the
+    cheapest valid tier.  [Error] leaves the session untouched. *)
+
+val min_cut_session :
+  ?algorithm:algorithm ->
+  ?seed:int ->
+  ?trees:int ->
+  ?workers:int ->
+  session ->
+  summary * bool
+(** Full summary of the live version.  [true] = served from an anchor
+    (the certificate proved the previous summary for these solve
+    coordinates still optimal — no solve ran).  Compaction never breaks
+    anchoring, so delta-then-solve and compact-then-solve answer
+    bit-identically. *)
+
+val compact_session : session -> unit
+(** Rebase the handle's snapshot; observationally invisible. *)
+
+val session_lambda : session -> int
+val session_side : session -> Mincut_util.Bitset.t
+val session_handle : session -> Mincut_graph.Handle.t
+val session_graph : session -> Mincut_graph.Graph.t
+val session_stats : session -> Incremental.stats

@@ -241,3 +241,134 @@ let by_name ~rng ?weights ~name ~size () =
       Ok (gnp_connected ~rng ?weights size (Float.min 1.0 p))
   | "planted" -> Ok (planted_cut ~rng ?weights ~n:size ~cut_edges:3 ~p_in:0.4 ())
   | other -> Error (Printf.sprintf "unknown family %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded delta streams: reproducible edge churn over a base graph    *)
+(* ------------------------------------------------------------------ *)
+
+type delta_mix = {
+  p_add : int;
+  p_remove : int;
+  p_reweight : int;
+  p_merge : int;
+  p_split : int;
+}
+
+let default_delta_mix =
+  { p_add = 35; p_remove = 8; p_reweight = 49; p_merge = 4; p_split = 4 }
+
+let delta_stream ~rng ?(mix = default_delta_mix) ?(wmax = 4) ~base ops =
+  if wmax < 1 then invalid_arg "delta_stream: wmax must be >= 1";
+  let total =
+    mix.p_add + mix.p_remove + mix.p_reweight + mix.p_merge + mix.p_split
+  in
+  if
+    total <= 0 || mix.p_add < 0 || mix.p_remove < 0 || mix.p_reweight < 0
+    || mix.p_merge < 0 || mix.p_split < 0
+  then invalid_arg "delta_stream: mix weights must be >= 0 with a positive sum";
+  let h = Handle.of_graph base in
+  let out = ref [] in
+  let emit op =
+    match Handle.apply h op with
+    | Ok _ ->
+        out := op :: !out;
+        true
+    | Error _ -> false
+  in
+  let try_add () =
+    (* a uniform absent pair, by rejection; on a near-complete graph the
+       attempts run out and the step degrades to nothing *)
+    let n = Handle.n h in
+    let rec attempt k =
+      if k = 0 then false
+      else
+        let u = Mincut_util.Rng.int rng n and v = Mincut_util.Rng.int rng n in
+        if u = v || Handle.channel_weight h u v > 0 then attempt (k - 1)
+        else
+          emit
+            (Delta.Add_edge
+               { u = min u v; v = max u v; w = 1 + Mincut_util.Rng.int rng wmax })
+    in
+    attempt 32
+  in
+  let pick_channel () =
+    let chans = Handle.channel_array h in
+    if Array.length chans = 0 then None
+    else Some (Mincut_util.Rng.choose rng chans)
+  in
+  let try_reweight () =
+    match pick_channel () with
+    | None -> false
+    | Some (u, v, w) ->
+        let w' = 1 + Mincut_util.Rng.int rng wmax in
+        (* never a no-op: nudge off the current weight *)
+        let w' = if w' = w then (if w >= wmax then max 1 (w - 1) else w + 1) else w' in
+        if w' = w then false else emit (Delta.Reweight { u; v; w = w' })
+  in
+  let try_remove () =
+    (* connectivity-preserving: only non-bridge channels are candidates,
+       and a density floor keeps the stream from thinning the graph to a
+       tree (where every removal would disconnect) *)
+    if Handle.channels h <= Handle.n h then false
+    else
+      let g = Handle.current h in
+      let is_bridge = Array.make (max 1 (Graph.m g)) false in
+      List.iter (fun id -> is_bridge.(id) <- true) (Bridge.bridges g);
+      let cands =
+        Graph.fold_edges
+          (fun acc e ->
+            if is_bridge.(e.Graph.id) then acc else (e.Graph.u, e.Graph.v) :: acc)
+          [] g
+      in
+      match cands with
+      | [] -> false
+      | _ :: _ ->
+          let u, v = Mincut_util.Rng.choose rng (Array.of_list cands) in
+          emit (Delta.Remove_edge { u; v })
+  in
+  let try_merge () =
+    (* contracting a channel keeps the graph connected and n >= 4 *)
+    if Handle.n h <= 4 then false
+    else
+      match pick_channel () with
+      | None -> false
+      | Some (u, v, _) -> emit (Delta.Merge_nodes { u; v })
+  in
+  let try_split () =
+    let n = Handle.n h in
+    let g = Handle.current h in
+    let rec attempt k =
+      if k = 0 then false
+      else
+        let v = Mincut_util.Rng.int rng n in
+        if Graph.degree g v = 0 then attempt (k - 1)
+        else
+          let moved =
+            Array.to_list (Graph.adj g v)
+            |> List.filter_map (fun (x, _) ->
+                   if Mincut_util.Rng.bool rng then Some x else None)
+          in
+          emit
+            (Delta.Split_node
+               { v; w = 1 + Mincut_util.Rng.int rng wmax; moved })
+    in
+    attempt 8
+  in
+  let step () =
+    let r = Mincut_util.Rng.int rng total in
+    let ok =
+      if r < mix.p_add then try_add ()
+      else if r < mix.p_add + mix.p_remove then try_remove ()
+      else if r < mix.p_add + mix.p_remove + mix.p_reweight then try_reweight ()
+      else if r < mix.p_add + mix.p_remove + mix.p_reweight + mix.p_merge then
+        try_merge ()
+      else try_split ()
+    in
+    (* a step whose drawn kind is impossible right now degrades to an
+       add, so churn keeps flowing on small or thinned-out graphs *)
+    if not ok then ignore (try_add ())
+  in
+  for _ = 1 to ops do
+    step ()
+  done;
+  List.rev !out

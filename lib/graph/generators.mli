@@ -101,3 +101,38 @@ val by_name :
     ["ring"], ["grid"] (size = side), ["hypercube"] (size = dimension),
     ["gnp"] (supercritical p), ["planted"] (3 cross edges), etc.
     [Error] carries a message naming the unknown family. *)
+
+(** {2 Delta streams} *)
+
+type delta_mix = {
+  p_add : int;
+  p_remove : int;
+  p_reweight : int;
+  p_merge : int;
+  p_split : int;
+}
+(** Relative draw weights for the five {!Delta.op} kinds. *)
+
+val default_delta_mix : delta_mix
+(** [35 / 8 / 49 / 4 / 4] (add / remove / reweight / merge / split):
+    insert-heavy churn with a steady trickle of certificate-invalidating
+    structural updates — the regime the incremental service is built
+    for. *)
+
+val delta_stream :
+  rng:Mincut_util.Rng.t ->
+  ?mix:delta_mix ->
+  ?wmax:int ->
+  base:Graph.t ->
+  int ->
+  Delta.op list
+(** [delta_stream ~rng ~base ops] draws a reproducible update stream of
+    (at most) [ops] deltas over an evolving copy of [base]: every op is
+    valid at its position when replayed in order from [base], and the
+    graph stays connected throughout (removals avoid bridges, merges
+    contract channels, splits keep a bridge of weight [1..wmax]).
+    Weights are drawn in [1..wmax] (default 4).  Equal seeds yield equal
+    streams — bench, tests and qcheck share this one source.  A drawn
+    kind that is impossible at its position (e.g. a removal when every
+    channel is a bridge) degrades to an add, so a step can very rarely
+    produce nothing; hence "at most". *)

@@ -1,4 +1,5 @@
 module Graph = Mincut_graph.Graph
+module Handle = Mincut_graph.Handle
 module Hash = Mincut_util.Hash
 module Api = Mincut_core.Api
 module Params = Mincut_core.Params
@@ -48,3 +49,10 @@ let key ~algorithm ~seed ~trees ~params g =
     (match trees with None -> "-" | Some t -> string_of_int t)
     (params_id params) (Graph.n g) (Graph.m g) (Graph.total_weight g)
     (Hash.to_hex (structural_hash g))
+
+let versioned_key ~algorithm ~seed ~trees ~params h =
+  Printf.sprintf "inc|%s|s%d|t%s|%s|n%d|c%d|w%d|%s" (algorithm_id algorithm)
+    seed
+    (match trees with None -> "-" | Some t -> string_of_int t)
+    (params_id params) (Handle.n h) (Handle.channels h) (Handle.total_weight h)
+    (Hash.to_hex (Handle.digest h))

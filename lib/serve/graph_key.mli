@@ -47,3 +47,20 @@ val key :
 (** The full cache key.  Besides the structural digest it embeds [n],
     [m] and the total weight as plain guards, so even a (cosmically
     unlikely) 64-bit collision cannot pair graphs of different sizes. *)
+
+val versioned_key :
+  algorithm:Mincut_core.Api.algorithm ->
+  seed:int ->
+  trees:int option ->
+  params:Mincut_core.Params.t ->
+  Mincut_graph.Handle.t ->
+  string
+(** Cache key for the live version of a {!Mincut_graph.Handle} — same
+    coordinates as {!key} but under an ["inc|"] namespace, with the
+    handle's O(|delta|)-rolled commutative multiset digest in place of
+    the O(m log m) sorted-edge-list hash, and channel count in place of
+    [m].  The digest is order-insensitive by construction, so a delta
+    chain that returns to a previously seen structure re-derives the
+    {e same} key and hits the entry cached at the earlier version (the
+    cache's version-chain lookup); compaction changes neither the digest
+    nor the counts, so keys survive it. *)

@@ -1,8 +1,10 @@
 module Api = Mincut_core.Api
+module Delta = Mincut_graph.Delta
 
 type source =
   | Named of string
   | Family of { family : string; size : int; gseed : int; weight_max : int }
+  | Session of string
 
 type solve_args = {
   source : source;
@@ -20,6 +22,9 @@ type command =
   | Solve of solve_args
   | Submit of solve_args
   | Estimate of estimate_args
+  | Session_open of { sname : string; ssource : source }
+  | Delta_op of { sname : string; dop : Delta.op }
+  | Compact of string
   | Flush
   | Stats
   | Ping
@@ -62,15 +67,21 @@ let float_arg args key =
       | None -> Error (Printf.sprintf "%s: expected a number, got %S" key v))
 
 let parse_source args =
-  match (List.assoc_opt "graph" args, List.assoc_opt "family" args) with
-  | Some name, None -> Ok (Named name)
-  | None, Some family ->
+  match
+    ( List.assoc_opt "graph" args,
+      List.assoc_opt "family" args,
+      List.assoc_opt "session" args )
+  with
+  | Some name, None, None -> Ok (Named name)
+  | None, Some family, None ->
       let* size = int_arg args "size" 64 in
       let* gseed = int_arg args "gseed" 0 in
       let* weight_max = int_arg args "wmax" 1 in
       Ok (Family { family; size; gseed; weight_max })
-  | Some _, Some _ -> Error "give either graph= or family=, not both"
-  | None, None -> Error "missing graph source: graph=<name> or family=<fam>"
+  | None, None, Some name -> Ok (Session name)
+  | None, None, None ->
+      Error "missing graph source: graph=<name>, family=<fam> or session=<name>"
+  | _ -> Error "give exactly one of graph=, family= or session="
 
 let parse_solve_args toks =
   let* args = kv_args toks in
@@ -141,6 +152,23 @@ let parse line =
       | "ESTIMATE" ->
           let* args = parse_estimate_args rest in
           Ok (Estimate args)
+      | "SESSION" -> (
+          match rest with
+          | name :: srcs ->
+              let* args = kv_args srcs in
+              let* ssource = parse_source args in
+              Ok (Session_open { sname = name; ssource })
+          | [] -> Error "usage: SESSION <name> graph=<g>|family=<fam> [...]")
+      | "DELTA" -> (
+          match rest with
+          | name :: optoks ->
+              let* dop = Delta.parse_tokens optoks in
+              Ok (Delta_op { sname = name; dop })
+          | [] -> Error "usage: DELTA <name> add|remove|reweight|merge|split ...")
+      | "COMPACT" -> (
+          match rest with
+          | [ name ] -> Ok (Compact name)
+          | _ -> Error "usage: COMPACT <name>")
       | "FLUSH" -> Ok Flush
       | "STATS" -> Ok Stats
       | "PING" -> Ok Ping
@@ -167,10 +195,13 @@ let format_estimate ~elapsed_ms (r : Mincut_core.Sample_estimate.result) =
 let help_lines =
   [
     "GRAPH <name> <n> <m>   register a graph; next m lines: u v w";
-    "SOLVE graph=<name>|family=<fam> [size= gseed= wmax=] [algo=exact|exact2|approx|gk|su] [epsilon=] [seed=] [trees=]";
+    "SOLVE graph=<name>|family=<fam>|session=<s> [size= gseed= wmax=] [algo=exact|exact2|approx|gk|su] [epsilon=] [seed=] [trees=]";
     "SUBMIT <solve args> [priority=] [deadline-ms=]   -> QUEUED <ticket>";
-    "ESTIMATE graph=<name>|family=<fam> [size= gseed= wmax=] [seed=] [trials=]   sampling-ladder bracket on λ";
-    "FLUSH                  run pending batches -> RESULT lines + DONE";
+    "ESTIMATE graph=<name>|family=<fam>|session=<s> [size= gseed= wmax=] [seed=] [trials=]   sampling-ladder bracket on λ";
+    "SESSION <name> graph=<g>|family=<fam> [...]   open a mutable versioned session";
+    "DELTA <name> add u v w | remove u v | reweight u v w | merge u v | split v w x1,..   apply one delta, answer λ incrementally";
+    "COMPACT <name>         rebase the session's snapshot (observationally invisible)";
+    "FLUSH                  run pending batches -> SHED/RESULT lines + DONE";
     "STATS                  one-line JSON metrics snapshot";
     "PING | HELP | QUIT | SHUTDOWN";
   ]

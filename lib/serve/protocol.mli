@@ -9,18 +9,30 @@
     SOLVE <args>             solve synchronously through the cache
     SUBMIT <args>            enqueue; answered by the next FLUSH
     ESTIMATE <args>          sampling-ladder λ bracket, no exact solve
+    SESSION <name> <source>  open a named mutable versioned session
+    DELTA <name> <op>        apply one delta; answers λ incrementally
+    COMPACT <name>           rebase the session snapshot (invisible)
     FLUSH                    drain the queue as coalesced batches on the
-                             worker pool; RESULT line per ticket + DONE
+                             worker pool; SHED line per expired ticket,
+                             RESULT line per answered ticket + DONE
     STATS                    one-line JSON metrics snapshot
     PING / HELP / QUIT       liveness, verb list, end of session
     SHUTDOWN                 end of session and stop accepting clients
     v}
 
     [SOLVE]/[SUBMIT] arguments: a graph source — [graph=<name>] for a
-    registered graph, or [family=<fam>] with optional [size=] [gseed=]
-    [wmax=] for a generator from the workload zoo — plus [algo=]
+    registered graph, [family=<fam>] with optional [size=] [gseed=]
+    [wmax=] for a generator from the workload zoo, or [session=<name>]
+    for the live version of an open session — plus [algo=]
     (exact|exact2|approx|gk|su), [epsilon=], [seed=], [trees=], and for
-    SUBMIT [priority=] and [deadline-ms=].
+    SUBMIT [priority=] and [deadline-ms=].  [SOLVE session=…] answers
+    through the incremental path (anchored summaries and version-chain
+    cache); everywhere else a session source just means "that session's
+    current graph", snapshotted at parse time.
+
+    [DELTA] ops use the {!Mincut_graph.Delta} grammar: [add u v w],
+    [remove u v], [reweight u v w], [merge u v],
+    [split v w x1,x2,…] (["-"] = move nothing).
 
     [ESTIMATE] arguments: a graph source as above, plus [seed=] and
     [trials=] (connectivity tests per ladder level).  It answers from
@@ -29,12 +41,14 @@
     never a full solve — so it is the cheap "answer now" tier in front
     of [SOLVE].
 
-    Responses: [OK …] / [QUEUED <ticket>] / [RESULT <ticket> …] /
-    [DONE <count>] / [STATS <json>] / [PONG] / [BYE] / [ERR <message>]. *)
+    Responses: [OK …] / [QUEUED <ticket>] / [SHED <ticket>] /
+    [RESULT <ticket> …] / [DONE <count>] / [STATS <json>] / [PONG] /
+    [BYE] / [ERR <message>]. *)
 
 type source =
   | Named of string
   | Family of { family : string; size : int; gseed : int; weight_max : int }
+  | Session of string  (** an open session's live graph *)
 
 type solve_args = {
   source : source;
@@ -56,6 +70,9 @@ type command =
   | Solve of solve_args
   | Submit of solve_args
   | Estimate of estimate_args
+  | Session_open of { sname : string; ssource : source }
+  | Delta_op of { sname : string; dop : Mincut_graph.Delta.op }
+  | Compact of string
   | Flush
   | Stats
   | Ping

@@ -68,9 +68,9 @@ let drain t =
              (e.ticket, e.request))
             (List.tl members)
         in
-        (best, List.map (fun e -> e.ticket) members))
+        (best, List.map (fun e -> (e.ticket, e.request)) members))
       !order
   in
   batches
   |> List.sort (fun (a, _) (b, _) -> Request.compare_order a b)
-  |> List.map (fun ((_, request), tickets) -> (tickets, request))
+  |> List.map (fun ((_, request), members) -> (members, request))

@@ -36,8 +36,10 @@ val pending : t -> int
 val depth : t -> int
 (** Number of distinct batches currently pending (≤ [pending t]). *)
 
-val drain : t -> (ticket list * Request.t) list
+val drain : t -> ((ticket * Request.t) list * Request.t) list
 (** Remove and return all pending work as coalesced batches in
-    scheduling order.  Each batch lists its tickets in submission order
-    together with the representative request (the best-ordered member).
-    The scheduler is empty afterwards. *)
+    scheduling order.  Each batch lists its members in submission order
+    (each ticket with the request it was submitted with — members keep
+    their own deadlines, which is what lets the service shed expired
+    tickets individually) together with the representative request (the
+    best-ordered member).  The scheduler is empty afterwards. *)

@@ -1,6 +1,10 @@
 module Graph = Mincut_graph.Graph
 module Generators = Mincut_graph.Generators
+module Handle = Mincut_graph.Handle
 module Rng = Mincut_util.Rng
+module Hash = Mincut_util.Hash
+module Api = Mincut_core.Api
+module Incremental = Mincut_core.Incremental
 
 type io = {
   read_line : unit -> string option;
@@ -86,6 +90,12 @@ let resolve_source session (src : Protocol.source) =
         else Some { Generators.wmin = 1; wmax = weight_max }
       in
       Generators.by_name ~rng ?weights ~name:family ~size ()
+  | Protocol.Session name -> (
+      (* a session source outside SOLVE means "the session's current
+         graph", snapshotted now *)
+      match Service.find_session session.service name with
+      | Ok s -> Ok (Api.session_graph s)
+      | Error _ as e -> e)
 
 let request_of_args session (a : Protocol.solve_args) =
   match resolve_source session a.Protocol.source with
@@ -129,6 +139,16 @@ let handle_command session cmd =
                (Mincut_util.Hash.to_hex (Graph_key.structural_hash g)))
       | Error e -> err session "GRAPH %s: %s" name e);
       None
+  | Protocol.Solve ({ source = Protocol.Session sname; _ } as args) ->
+      (match
+         Service.session_solve session.service sname
+           ~algorithm:args.Protocol.algorithm ~seed:args.Protocol.seed
+           ~trees:args.Protocol.trees
+       with
+      | Ok resp -> io.write_line ("OK " ^ Protocol.format_response resp)
+      | Error e -> err session "%s" e
+      | exception e -> err session "solve failed: %s" (Printexc.to_string e));
+      None
   | Protocol.Solve args ->
       (match request_of_args session args with
       | Error e -> err session "%s" e
@@ -154,16 +174,58 @@ let handle_command session cmd =
           Hashtbl.replace session.tickets ticket ();
           io.write_line (Printf.sprintf "QUEUED %d" ticket));
       None
+  | Protocol.Session_open { sname; ssource } ->
+      (match resolve_source session ssource with
+      | Error e -> err session "SESSION %s: %s" sname e
+      | Ok g -> (
+          match Service.session_open session.service sname g with
+          | s ->
+              let h = Api.session_handle s in
+              io.write_line
+                (Printf.sprintf "OK session %s n=%d channels=%d lambda=%d hash=%s"
+                   sname (Handle.n h) (Handle.channels h) (Api.session_lambda s)
+                   (Hash.to_hex (Handle.digest h)))
+          | exception e ->
+              err session "SESSION %s: %s" sname (Printexc.to_string e)));
+      None
+  | Protocol.Delta_op { sname; dop } ->
+      (match Service.session_delta session.service sname dop with
+      | Error e -> err session "DELTA %s: %s" sname e
+      | Ok (s, outcome, answer) ->
+          let h = Api.session_handle s in
+          io.write_line
+            (Printf.sprintf
+               "OK delta %s version=%d lambda=%d mode=%s n=%d channels=%d hash=%s"
+               sname outcome.Handle.version answer.Api.lambda
+               (Incremental.mode_name answer.Api.mode)
+               (Handle.n h) (Handle.channels h)
+               (Hash.to_hex (Handle.digest h))));
+      None
+  | Protocol.Compact sname ->
+      (match Service.session_compact session.service sname with
+      | Error e -> err session "COMPACT %s: %s" sname e
+      | Ok s ->
+          let h = Api.session_handle s in
+          io.write_line
+            (Printf.sprintf "OK compact %s version=%d channels=%d hash=%s" sname
+               (Handle.version h) (Handle.channels h)
+               (Hash.to_hex (Handle.digest h))));
+      None
   | Protocol.Flush ->
       (match Service.flush session.service with
-      | responses ->
+      | { Service.answered; shed } ->
+          List.iter
+            (fun ticket ->
+              Hashtbl.remove session.tickets ticket;
+              io.write_line (Printf.sprintf "SHED %d" ticket))
+            shed;
           List.iter
             (fun (ticket, resp) ->
               Hashtbl.remove session.tickets ticket;
               io.write_line
                 (Printf.sprintf "RESULT %d %s" ticket (Protocol.format_response resp)))
-            responses;
-          io.write_line (Printf.sprintf "DONE %d" (List.length responses))
+            answered;
+          io.write_line (Printf.sprintf "DONE %d" (List.length answered))
       | exception e -> err session "flush failed: %s" (Printexc.to_string e));
       None
 

@@ -1,5 +1,6 @@
 module Bitset = Mincut_util.Bitset
 module Api = Mincut_core.Api
+module Incremental = Mincut_core.Incremental
 module Params = Mincut_core.Params
 module Cost = Mincut_congest.Cost
 
@@ -23,6 +24,7 @@ type t = {
   cache : Api.summary Cache.t;
   scheduler : Scheduler.t;
   pool : Pool.t;
+  sessions : (string, Api.session) Hashtbl.t;
   metrics : Metrics.t;
   (* instruments, resolved once *)
   submitted : Metrics.counter;
@@ -33,6 +35,10 @@ type t = {
   batches : Metrics.counter;
   rounds_charged : Metrics.counter;
   deadline_missed : Metrics.counter;
+  requests_shed : Metrics.counter;
+  deltas_applied : Metrics.counter;
+  incremental_hits : Metrics.counter;
+  full_resolves : Metrics.counter;
   estimates : Metrics.counter;
   estimate_rounds : Metrics.counter;
   estimate_ms : Metrics.histogram;
@@ -41,6 +47,7 @@ type t = {
   q_depth : Metrics.gauge;
   g_entries : Metrics.gauge;
   g_cost : Metrics.gauge;
+  g_sessions : Metrics.gauge;
 }
 
 (* approximate resident footprint of a summary, in words: the side
@@ -88,6 +95,7 @@ let create ?(config = default_config) () =
         ~cost:summary_cost ();
     scheduler = Scheduler.create ~key:(key_of cfg) ();
     pool = Pool.create ~workers:cfg.workers ();
+    sessions = Hashtbl.create 8;
     metrics;
     submitted = Metrics.counter metrics "requests_submitted";
     completed = Metrics.counter metrics "requests_completed";
@@ -97,6 +105,10 @@ let create ?(config = default_config) () =
     batches = Metrics.counter metrics "batches_solved";
     rounds_charged = Metrics.counter metrics "rounds_charged";
     deadline_missed = Metrics.counter metrics "deadlines_missed";
+    requests_shed = Metrics.counter metrics "requests_shed";
+    deltas_applied = Metrics.counter metrics "deltas_applied";
+    incremental_hits = Metrics.counter metrics "incremental_hits";
+    full_resolves = Metrics.counter metrics "full_resolves";
     estimates = Metrics.counter metrics "estimates_served";
     estimate_rounds = Metrics.counter metrics "rounds_estimate";
     estimate_ms = Metrics.histogram metrics "estimate_ms";
@@ -105,6 +117,7 @@ let create ?(config = default_config) () =
     q_depth = Metrics.gauge metrics "queue_depth";
     g_entries = Metrics.gauge metrics "cache_entries";
     g_cost = Metrics.gauge metrics "cache_cost_words";
+    g_sessions = Metrics.gauge metrics "sessions_open";
   }
 
 let config t = t.cfg
@@ -174,26 +187,45 @@ let submit t r =
 
 let pending t = Scheduler.pending t.scheduler
 
+type flush_result = {
+  answered : (Scheduler.ticket * Request.response) list;
+  shed : Scheduler.ticket list;
+}
+
 let flush t =
   let batches = Scheduler.drain t.scheduler in
-  (* answer what the cache already knows; collect the rest *)
+  (* answer what the cache already knows; shed what has already expired
+     (a cache hit is free, so those are answered even past deadline —
+     shedding only saves solves); collect the rest *)
+  let now0 = Unix.gettimeofday () in
+  let expired (r : Request.t) =
+    match r.Request.deadline with Some d -> now0 > d | None -> false
+  in
   let todo = ref [] in
   let answered = ref [] in
+  let shed = ref [] in
   List.iter
-    (fun (tickets, (r : Request.t)) ->
+    (fun (members, (r : Request.t)) ->
       let key = key_of t.cfg r in
       let t0 = Unix.gettimeofday () in
       match Cache.find t.cache key with
       | Some s ->
           let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-          Metrics.incr ~by:(List.length tickets) t.cache_hit;
+          Metrics.incr ~by:(List.length members) t.cache_hit;
           List.iter
-            (fun tk -> answered := (tk, r, key, s, true, ms) :: !answered)
-            tickets
+            (fun (tk, _) -> answered := (tk, r, key, s, true, ms) :: !answered)
+            members
       | None ->
-          Metrics.incr ~by:(List.length tickets) t.cache_miss;
-          Metrics.incr ~by:(List.length tickets - 1) t.coalesced;
-          todo := (tickets, r, key) :: !todo)
+          let live, dead =
+            List.partition (fun (_, req) -> not (expired req)) members
+          in
+          List.iter (fun (tk, _) -> shed := tk :: !shed) dead;
+          Metrics.incr ~by:(List.length dead) t.requests_shed;
+          if live <> [] then begin
+            Metrics.incr ~by:(List.length live) t.cache_miss;
+            Metrics.incr ~by:(List.length live - 1) t.coalesced;
+            todo := (List.map fst live, r, key) :: !todo
+          end)
     batches;
   let todo = Array.of_list (List.rev !todo) in
   (* concurrent part: pure solves only, one graph copy per job (the
@@ -228,7 +260,77 @@ let flush t =
            (tk, { Request.summary; cached; key; elapsed_ms }))
   in
   refresh_gauges t;
-  responses
+  { answered = responses; shed = List.sort Int.compare !shed }
+
+(* ---- incremental sessions ------------------------------------------- *)
+
+let session_open t name g =
+  let s = Api.open_session ~params:t.cfg.params g in
+  Hashtbl.replace t.sessions name s;
+  Metrics.set t.g_sessions (float_of_int (Hashtbl.length t.sessions));
+  s
+
+let find_session t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "unknown session %S (open with SESSION)" name)
+
+let session_delta t name op =
+  match find_session t name with
+  | Error _ as e -> e
+  | Ok s -> (
+      match Api.apply_delta s op with
+      | Error _ as e -> e
+      | Ok (outcome, answer) ->
+          Metrics.incr t.deltas_applied;
+          (match answer.Api.mode with
+          | Incremental.Reused | Incremental.Cert_solved ->
+              Metrics.incr t.incremental_hits
+          | Incremental.Resolved -> Metrics.incr t.full_resolves);
+          Ok (s, outcome, answer))
+
+let session_compact t name =
+  match find_session t name with
+  | Error _ as e -> e
+  | Ok s ->
+      Api.compact_session s;
+      Ok s
+
+let session_solve t name ~algorithm ~seed ~trees =
+  match find_session t name with
+  | Error _ as e -> e
+  | Ok s ->
+      Metrics.incr t.submitted;
+      let t0 = Unix.gettimeofday () in
+      let key =
+        Graph_key.versioned_key ~algorithm ~seed ~trees ~params:t.cfg.params
+          (Api.session_handle s)
+      in
+      let summary, cached =
+        match Cache.find t.cache key with
+        | Some sum ->
+            (* version-chain hit: some earlier version (possibly of
+               another session) had this exact structure and solve
+               coordinates *)
+            Metrics.incr t.cache_hit;
+            Metrics.incr t.incremental_hits;
+            (sum, true)
+        | None ->
+            Metrics.incr t.cache_miss;
+            let sum, anchored = Api.min_cut_session ~algorithm ~seed ?trees s in
+            Cache.add t.cache key sum;
+            if anchored then Metrics.incr t.incremental_hits
+            else begin
+              Metrics.incr ~by:sum.Api.rounds t.rounds_charged;
+              note_phase_rounds t.metrics sum
+            end;
+            (sum, anchored)
+      in
+      let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Metrics.observe (if cached then t.warm_ms else t.cold_ms) elapsed_ms;
+      Metrics.incr t.completed;
+      refresh_gauges t;
+      Ok { Request.summary; cached; key; elapsed_ms }
 
 let metrics t = t.metrics
 

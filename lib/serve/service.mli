@@ -63,12 +63,75 @@ val submit : t -> Request.t -> Scheduler.ticket
 
 val pending : t -> int
 
-val flush : t -> (Scheduler.ticket * Request.response) list
-(** Drain and answer everything pending, in ticket order.  [cached] is
-    true for responses answered from an entry that existed before this
-    flush; members of a freshly solved batch (including coalesced
-    duplicates) report [cached = false] and the duplicates are counted
-    by the [requests_coalesced] counter. *)
+type flush_result = {
+  answered : (Scheduler.ticket * Request.response) list;
+      (** in ticket order *)
+  shed : Scheduler.ticket list;
+      (** tickets whose deadline had already passed at drain time and
+          whose answer was not in the cache — dropped {e before} any
+          solve ran (a cache hit is free, so expired tickets that hit
+          are answered anyway).  Counted by [requests_shed]. *)
+}
+
+val flush : t -> flush_result
+(** Drain and answer everything pending.  [cached] is true for
+    responses answered from an entry that existed before this flush;
+    members of a freshly solved batch (including coalesced duplicates)
+    report [cached = false] and the duplicates are counted by the
+    [requests_coalesced] counter.  Queued work whose deadline expired
+    before its solve started is shed, never solved. *)
+
+(** {2 Incremental sessions}
+
+    Named mutable graph sessions ({!Mincut_core.Api.session}: versioned
+    handle + live NI certificate), owned by the service so every client
+    of a shared server sees the same evolving graphs.  Session solves go
+    through the {e same} summary cache as one-shot solves, but under
+    {!Graph_key.versioned_key} — the handle's rolled digest — so a delta
+    chain returning to a previously seen structure hits the entry cached
+    at the earlier version, and compaction (digest-preserving) never
+    invalidates anything.
+
+    Counters: [deltas_applied]; [incremental_hits] (answers that needed
+    no full solve: tier-1/2 delta answers, anchored summaries,
+    version-chain cache hits); [full_resolves] (tier-3 delta answers:
+    certificate rebuilt); [sessions_open] gauge. *)
+
+val session_open : t -> string -> Mincut_graph.Graph.t -> Mincut_core.Api.session
+(** Open (or replace) the named session at version 0 of the graph,
+    solving λ eagerly.  Uses the service's configured [params]. *)
+
+val find_session : t -> string -> (Mincut_core.Api.session, string) result
+
+val session_delta :
+  t ->
+  string ->
+  Mincut_graph.Delta.op ->
+  ( Mincut_core.Api.session
+    * Mincut_graph.Handle.outcome
+    * Mincut_core.Api.delta_answer,
+    string )
+  result
+(** Apply one delta to the named session and answer λ through the
+    cheapest valid tier.  [Error] (unknown session or rejected delta)
+    changes nothing. *)
+
+val session_compact : t -> string -> (Mincut_core.Api.session, string) result
+(** Rebase the named session's handle; observationally invisible
+    (version, digest, certificate, anchors all survive). *)
+
+val session_solve :
+  t ->
+  string ->
+  algorithm:Mincut_core.Api.algorithm ->
+  seed:int ->
+  trees:int option ->
+  (Request.response, string) result
+(** Full summary of the named session's live version.  [cached] is true
+    when no solve ran: a version-chain cache hit or an anchored summary
+    (the certificate proved the previous answer still optimal).  Misses
+    solve with [lambda_upper] seeded from the certificate's exact λ and
+    populate the cache under the live version's key. *)
 
 val metrics : t -> Metrics.t
 

@@ -1,0 +1,310 @@
+(* The delta layer: versioned handles (apply semantics, rolling
+   multiset digest, compaction invisibility), the incremental NI
+   certificate (three-tier answering, λ-exactness under arbitrary delta
+   sequences), the seeded delta-stream generator, and Api sessions
+   (anchored summary reuse across versions). *)
+
+open Test_helpers
+module Graph = Mincut_graph.Graph
+module Generators = Mincut_graph.Generators
+module Delta = Mincut_graph.Delta
+module Handle = Mincut_graph.Handle
+module Bfs = Mincut_graph.Bfs
+module Stoer_wagner = Mincut_graph.Stoer_wagner
+module Rng = Mincut_util.Rng
+module Bitset = Mincut_util.Bitset
+module Api = Mincut_core.Api
+module Params = Mincut_core.Params
+module Incremental = Mincut_core.Incremental
+
+let check_string = Alcotest.(check string)
+let lambda_of g = Stoer_wagner.min_cut_value g
+
+(* ---- delta grammar ---------------------------------------------------- *)
+
+let test_delta_parse_roundtrip () =
+  let ops =
+    [
+      Delta.Add_edge { u = 0; v = 3; w = 2 };
+      Delta.Remove_edge { u = 1; v = 2 };
+      Delta.Reweight { u = 4; v = 0; w = 7 };
+      Delta.Merge_nodes { u = 2; v = 5 };
+      Delta.Split_node { v = 1; w = 3; moved = [ 0; 4 ] };
+      Delta.Split_node { v = 1; w = 3; moved = [] };
+    ]
+  in
+  List.iter
+    (fun op ->
+      match Delta.parse (Delta.to_line op) with
+      | Ok op' -> check_string "roundtrip" (Delta.to_line op) (Delta.to_line op')
+      | Error e -> Alcotest.fail (Delta.to_line op ^ ": " ^ e))
+    ops;
+  (* comments and blanks parse; garbage does not *)
+  check_bool "comment tail" true (Delta.parse "add 1 2 3 # note" = Ok (Delta.Add_edge { u = 1; v = 2; w = 3 }));
+  check_bool "bad verb" true (Result.is_error (Delta.parse "frobnicate 1 2"));
+  check_bool "bad int" true (Result.is_error (Delta.parse "add 1 x 3"))
+
+(* ---- handle apply semantics ------------------------------------------- *)
+
+let test_handle_apply_semantics () =
+  let h = Handle.of_graph (Generators.path 4) in
+  check_int "base channels" 3 (Handle.channels h);
+  (* add a fresh channel *)
+  (match Handle.apply h (Delta.Add_edge { u = 0; v = 2; w = 2 }) with
+  | Ok o ->
+      check_int "version bumped" 1 o.Handle.version;
+      check_bool "not renumbered" false o.Handle.renumbered
+  | Error e -> Alcotest.fail e);
+  check_int "channel added" 4 (Handle.channels h);
+  check_int "channel weight" 2 (Handle.channel_weight h 2 0);
+  (* adding onto an existing channel aggregates *)
+  (match Handle.apply h (Delta.Add_edge { u = 2; v = 0; w = 3 }) with
+  | Ok o ->
+      check_bool "one channel-level change" true
+        (match o.Handle.changes with
+        | [ c ] -> c.Handle.before = 2 && c.Handle.after = 5
+        | _ -> false)
+  | Error e -> Alcotest.fail e);
+  check_int "aggregated" 5 (Handle.channel_weight h 0 2);
+  (* errors and no-ops leave everything untouched *)
+  let v = Handle.version h and d = Handle.digest h in
+  check_bool "remove absent is Error" true
+    (Result.is_error (Handle.apply h (Delta.Remove_edge { u = 1; v = 3 })));
+  check_bool "self loop is Error" true
+    (Result.is_error (Handle.apply h (Delta.Add_edge { u = 1; v = 1; w = 1 })));
+  check_bool "out of range is Error" true
+    (Result.is_error (Handle.apply h (Delta.Add_edge { u = 0; v = 9; w = 1 })));
+  (match Handle.apply h (Delta.Reweight { u = 0; v = 2; w = 5 }) with
+  | Ok o -> check_bool "no-op reweight: no changes" true (o.Handle.changes = [])
+  | Error e -> Alcotest.fail e);
+  check_int "version unchanged" v (Handle.version h);
+  check_bool "digest unchanged" true (Int64.equal d (Handle.digest h));
+  (* remove and reweight *)
+  (match Handle.apply h (Delta.Remove_edge { u = 2; v = 0 }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "removed" 0 (Handle.channel_weight h 0 2);
+  check_int "back to base channels" 3 (Handle.channels h)
+
+let test_handle_merge_split () =
+  let h = Handle.of_graph (Generators.ring 6) in
+  (* merge 1 into 0: ring-6 contracts to a 5-node cycle-ish multigraph;
+     node 5 is renumbered into slot 1 *)
+  (match Handle.apply h (Delta.Merge_nodes { u = 0; v = 1 }) with
+  | Ok o -> check_bool "renumbered" true o.Handle.renumbered
+  | Error e -> Alcotest.fail e);
+  check_int "node count shrank" 5 (Handle.n h);
+  check_bool "still connected" true (Bfs.is_connected (Handle.current h));
+  let w = Graph.total_weight (Handle.current h) in
+  check_int "weight preserved (no {u,v} self loop kept)" (6 - 1) w;
+  (* split node 0: move one neighbor to the fresh node *)
+  let neighbor =
+    match
+      List.find_opt
+        (fun (x, _) -> x >= 0)
+        (List.filter_map
+           (fun v ->
+             let wv = Handle.channel_weight h 0 v in
+             if wv > 0 then Some (v, wv) else None)
+           (List.init (Handle.n h) Fun.id))
+    with
+    | Some (v, _) -> v
+    | None -> Alcotest.fail "merge left node 0 isolated"
+  in
+  (match Handle.apply h (Delta.Split_node { v = 0; w = 2; moved = [ neighbor ] }) with
+  | Ok o -> check_bool "split renumbers" true o.Handle.renumbered
+  | Error e -> Alcotest.fail e);
+  check_int "node count grew" 6 (Handle.n h);
+  check_int "bridge weight" 2 (Handle.channel_weight h 0 5);
+  check_int "moved channel re-attached" 1 (Handle.channel_weight h 5 neighbor);
+  check_int "old channel gone" 0 (Handle.channel_weight h 0 neighbor);
+  check_bool "split: duplicate moved is Error" true
+    (Result.is_error (Handle.apply h (Delta.Split_node { v = 0; w = 1; moved = [ 1; 1 ] })))
+
+let test_handle_compact_invisible () =
+  let h = Handle.of_graph (Generators.torus 3 3) in
+  let ops =
+    Generators.delta_stream ~rng:(Rng.create 5) ~wmax:3
+      ~base:(Generators.torus 3 3) 12
+  in
+  List.iter (fun op -> ignore (Handle.apply h op)) ops;
+  let v = Handle.version h
+  and d = Handle.digest h
+  and g = Handle.current h in
+  check_bool "log non-empty before compact" true (Handle.log h <> []);
+  let _ = Handle.compact h in
+  check_int "version survives" v (Handle.version h);
+  check_bool "digest survives" true (Int64.equal d (Handle.digest h));
+  check_bool "current survives" true (Graph.equal_structure g (Handle.current h));
+  check_bool "log cleared" true (Handle.log h = []);
+  check_bool "base rebased" true (Graph.equal_structure g (Handle.base h))
+
+(* ---- the delta-stream generator --------------------------------------- *)
+
+let test_generator_reproducible_and_valid () =
+  let base = Generators.grid 4 4 in
+  let gen seed = Generators.delta_stream ~rng:(Rng.create seed) ~wmax:4 ~base 60 in
+  check_bool "same seed, same stream" true
+    (List.map Delta.to_line (gen 9) = List.map Delta.to_line (gen 9));
+  check_bool "different seed, different stream" true
+    (List.map Delta.to_line (gen 9) <> List.map Delta.to_line (gen 10));
+  (* every generated op applies cleanly and connectivity never breaks *)
+  let h = Handle.of_graph base in
+  List.iter
+    (fun op ->
+      (match Handle.apply h op with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Delta.to_line op ^ ": " ^ e));
+      check_bool "stays connected" true (Bfs.is_connected (Handle.current h)))
+    (gen 9)
+
+(* ---- incremental certificate ------------------------------------------ *)
+
+let test_incremental_lambda_stream () =
+  let base = Generators.torus 4 4 in
+  let ops = Generators.delta_stream ~rng:(Rng.create 3) ~wmax:3 ~base 120 in
+  let s = Api.open_session ~params:Params.fast base in
+  check_int "initial λ" (lambda_of base) (Api.session_lambda s);
+  List.iter
+    (fun op ->
+      match Api.apply_delta s op with
+      | Error e -> Alcotest.fail (Delta.to_line op ^ ": " ^ e)
+      | Ok (_, a) ->
+          let live = Api.session_graph s in
+          check_int (Delta.to_line op ^ ": λ exact") (lambda_of live) a.Api.lambda;
+          check_int
+            (Delta.to_line op ^ ": side achieves λ")
+            a.Api.lambda
+            (Graph.cut_of_bitset live (Api.session_side s)))
+    ops;
+  let st = Api.session_stats s in
+  check_int "every delta answered" (List.length ops)
+    (st.Incremental.reused + st.Incremental.cert_solves
+    + st.Incremental.full_resolves);
+  check_bool "some answers were incremental" true (st.Incremental.reused > 0)
+
+let test_cert_graph_equivalence () =
+  List.iter
+    (fun (name, g) ->
+      let inc = Incremental.create g in
+      let cert = Incremental.cert_graph inc in
+      check_int (name ^ ": λ(cert) = λ(G)") (lambda_of g) (lambda_of cert);
+      check_bool (name ^ ": cert is sparse") true
+        (Graph.m cert <= Incremental.cert_k inc * (Graph.n g - 1)))
+    (small_connected_graphs ())
+
+(* ---- Api sessions ------------------------------------------------------ *)
+
+let summaries_identical (a : Api.summary) (b : Api.summary) =
+  a.Api.value = b.Api.value && a.Api.rounds = b.Api.rounds
+  && Bitset.equal a.Api.side b.Api.side
+  && a.Api.breakdown = b.Api.breakdown
+  && Mincut_congest.Cost.equal a.Api.cost b.Api.cost
+
+let test_session_anchor_reuse () =
+  let g = Generators.grid 4 4 in
+  let s = Api.open_session ~params:Params.fast g in
+  let s0, hit0 = Api.min_cut_session s in
+  check_bool "first solve is fresh" false hit0;
+  check_int "solve agrees with certificate" (Api.session_lambda s) s0.Api.value;
+  (* a weight increase that does not cross the anchored side keeps the
+     proof alive: the summary is re-served without solving *)
+  let side = Api.session_side s in
+  let e =
+    match
+      List.find_opt
+        (fun e -> Bitset.mem side e.Graph.u = Bitset.mem side e.Graph.v)
+        (Array.to_list (Graph.edges (Api.session_graph s)))
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "no intra-side edge in a 4x4 grid?"
+  in
+  (match Api.apply_delta s (Delta.Add_edge { u = e.Graph.u; v = e.Graph.v; w = 1 }) with
+  | Ok (_, a) -> check_bool "tier-1 reuse" true (a.Api.mode = Incremental.Reused)
+  | Error err -> Alcotest.fail err);
+  let s1, hit1 = Api.min_cut_session s in
+  check_bool "anchored summary re-served" true hit1;
+  check_bool "bit-identical to the anchor" true (summaries_identical s0 s1);
+  (* a removal breaks the generation: the next solve is fresh and its
+     value matches a from-scratch solve of the live graph *)
+  (match Api.apply_delta s (Delta.Remove_edge { u = e.Graph.u; v = e.Graph.v }) with
+  | Ok _ -> ()
+  | Error err -> Alcotest.fail err);
+  let s2, hit2 = Api.min_cut_session s in
+  check_bool "generation break forces a solve" false hit2;
+  check_int "fresh solve exact" (lambda_of (Api.session_graph s)) s2.Api.value
+
+(* ---- qcheck properties ------------------------------------------------- *)
+
+(* a random evolution: seeded base graph + seeded delta stream *)
+let arbitrary_evolution =
+  QCheck2.Gen.(
+    let* gseed = int_range 0 100_000 in
+    let* oseed = int_range 0 100_000 in
+    let* n = int_range 4 10 in
+    let* k = int_range 1 25 in
+    return (gseed, oseed, n, k))
+
+let base_of gseed n = Generators.gnp_connected ~rng:(Rng.create gseed) n 0.6
+
+let ops_of oseed base k =
+  Generators.delta_stream ~rng:(Rng.create oseed) ~wmax:3 ~base k
+
+let qcheck_tests =
+  [
+    qtest ~count:60 "rolling digest = from-scratch hash of compacted graph"
+      arbitrary_evolution
+      (fun (gseed, oseed, n, k) ->
+        let base = base_of gseed n in
+        let h = Handle.of_graph base in
+        List.iter (fun op -> ignore (Handle.apply h op)) (ops_of oseed base k);
+        let rolled = Handle.digest h in
+        let compacted = Handle.compact h in
+        Int64.equal rolled (Handle.multiset_hash compacted)
+        && Int64.equal rolled (Handle.digest h));
+    qtest ~count:40 "incremental λ = stoer-wagner from scratch, every version"
+      arbitrary_evolution
+      (fun (gseed, oseed, n, k) ->
+        let base = base_of gseed n in
+        let s = Api.open_session ~params:Params.fast base in
+        List.for_all
+          (fun op ->
+            match Api.apply_delta s op with
+            | Error _ -> false
+            | Ok (_, a) ->
+                let live = Api.session_graph s in
+                a.Api.lambda = lambda_of live
+                && Graph.cut_of_bitset live (Api.session_side s) = a.Api.lambda)
+          (ops_of oseed base k));
+    qtest ~count:30
+      "session solve after deltas = solve of compacted graph (bit-identical)"
+      arbitrary_evolution
+      (fun (gseed, oseed, n, k) ->
+        let base = base_of gseed n in
+        (* same evolution twice: delta-only vs compact-every-5; the
+           final full summaries must agree bit for bit *)
+        let replay compact_every =
+          let s = Api.open_session ~params:Params.fast base in
+          List.iteri
+            (fun i op ->
+              ignore (Api.apply_delta s op);
+              if compact_every > 0 && i mod compact_every = 4 then
+                Api.compact_session s)
+            (ops_of oseed base k);
+          fst (Api.min_cut_session s)
+        in
+        summaries_identical (replay 0) (replay 5));
+  ]
+
+let suite =
+  [
+    tc "delta: parse/print roundtrip" test_delta_parse_roundtrip;
+    tc "handle: apply semantics" test_handle_apply_semantics;
+    tc "handle: merge and split renumbering" test_handle_merge_split;
+    tc "handle: compaction is invisible" test_handle_compact_invisible;
+    tc "generators: delta stream seeded and valid" test_generator_reproducible_and_valid;
+    tc "incremental: λ exact along a 120-op stream" test_incremental_lambda_stream;
+    tc "incremental: NI certificate is λ-equivalent" test_cert_graph_equivalence;
+    tc "session: anchored summary reuse and generation breaks" test_session_anchor_reuse;
+  ]
+  @ qcheck_tests

@@ -21,6 +21,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("estimate", Test_estimate.suite);
       ("store", Test_store.suite);
+      ("incremental", Test_incremental.suite);
       ("serve", Test_serve.suite);
       ("analysis", Test_analysis.suite);
       ("astlint", Test_astlint.suite);

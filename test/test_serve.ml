@@ -6,6 +6,8 @@
 open Test_helpers
 module Graph = Mincut_graph.Graph
 module Generators = Mincut_graph.Generators
+module Delta = Mincut_graph.Delta
+module Handle = Mincut_graph.Handle
 module Rng = Mincut_util.Rng
 module Bitset = Mincut_util.Bitset
 module Hash = Mincut_util.Hash
@@ -200,9 +202,9 @@ let test_scheduler_priority_and_coalescing () =
   match Scheduler.drain s with
   | [ (tks_grid, r_grid); (tks_ring, _) ] ->
       check_bool "high priority first" true (r_grid.Request.priority = 3);
-      Alcotest.(check (list int)) "grid batch" [ t1 ] tks_grid;
+      Alcotest.(check (list int)) "grid batch" [ t1 ] (List.map fst tks_grid);
       Alcotest.(check (list int))
-        "permuted ring coalesced with ring" [ t0; t2 ] tks_ring;
+        "permuted ring coalesced with ring" [ t0; t2 ] (List.map fst tks_ring);
       check_int "drained" 0 (Scheduler.pending s)
   | batches -> Alcotest.fail (Printf.sprintf "expected 2 batches, got %d" (List.length batches))
 
@@ -305,8 +307,9 @@ let test_service_flush_batches () =
   let t1 = Service.submit t (Request.make (shuffled_copy ~seed:3 ring)) in
   let t2 = Service.submit t (Request.make (Generators.grid 3 3)) in
   check_int "pending" 3 (Service.pending t);
-  let responses = Service.flush t in
+  let { Service.answered = responses; shed } = Service.flush t in
   check_int "all answered" 3 (List.length responses);
+  check_int "nothing shed" 0 (List.length shed);
   check_int "drained" 0 (Service.pending t);
   Alcotest.(check (list int))
     "ticket order" [ t0; t1; t2 ]
@@ -316,7 +319,7 @@ let test_service_flush_batches () =
     r0.Request.summary r1.Request.summary;
   (* a second flush of the same work is all cache hits *)
   let _ = Service.submit t (Request.make ring) in
-  (match Service.flush t with
+  (match (Service.flush t).Service.answered with
   | [ (_, r) ] -> check_bool "warm flush hits" true r.Request.cached
   | _ -> Alcotest.fail "expected one response");
   let m = Service.metrics t in
@@ -494,6 +497,199 @@ let test_protocol_parse_errors () =
   check_bool "blank is nop" true (Protocol.parse "   " = Ok Protocol.Nop);
   check_bool "comment is nop" true (Protocol.parse "# hi" = Ok Protocol.Nop)
 
+(* ---- deadline shedding ------------------------------------------------ *)
+
+(* An uncached request whose deadline has passed by drain time is shed,
+   not solved; a cached one is answered anyway (hits are free). *)
+let test_service_flush_sheds_expired () =
+  let t = service () in
+  let dead = Service.submit t (Request.make (Generators.grid 4 4) ~deadline:1.0) in
+  let live = Service.submit t (Request.make (Generators.ring 9)) in
+  let { Service.answered; shed } = Service.flush t in
+  check_bool "expired ticket shed" true (List.mem dead shed);
+  check_int "only the live request answered" 1 (List.length answered);
+  check_bool "live ticket answered" true (List.mem_assoc live answered);
+  let counter name = List.assoc name (Service.snapshot t).Metrics.counters in
+  check_int "requests_shed counted" 1 (counter "requests_shed");
+  (* warm the key, then submit the same expired request again: a cache
+     hit costs nothing, so it is answered despite the deadline *)
+  let _ = Service.solve t (Request.make (Generators.grid 4 4)) in
+  let again = Service.submit t (Request.make (Generators.grid 4 4) ~deadline:1.0) in
+  let { Service.answered = a2; shed = s2 } = Service.flush t in
+  check_int "nothing shed on a hit" 0 (List.length s2);
+  check_bool "expired-but-cached still answered" true (List.mem_assoc again a2);
+  check_int "shed counter unchanged" 1 (counter "requests_shed")
+
+let test_server_flush_shed_line () =
+  let io, collected =
+    scripted_io
+      [
+        "SUBMIT family=ring size=16 deadline-ms=-1000000";
+        "SUBMIT family=complete size=5";
+        "FLUSH";
+      ]
+  in
+  let _ = Server.run (service ()) io in
+  match collected () with
+  | [ q0; q1; shed0; r1; done_line ] ->
+      check_string "ticket 0" "QUEUED 0" q0;
+      check_string "ticket 1" "QUEUED 1" q1;
+      check_string "shed line precedes results" "SHED 0" shed0;
+      check_bool "live result" true (has_prefix ~prefix:"RESULT 1 value=4" r1);
+      check_string "done counts answered only" "DONE 1" done_line
+  | lines ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected responses: %s" (String.concat " | " lines))
+
+(* ---- incremental sessions --------------------------------------------- *)
+
+let test_service_session_metrics () =
+  let t = service () in
+  let _ = Service.session_open t "s" (Generators.torus 4 4) in
+  let counter name = List.assoc name (Service.snapshot t).Metrics.counters in
+  check_bool "session gauge" true
+    (List.assoc "sessions_open" (Service.snapshot t).Metrics.gauges = 1.0);
+  (* a weight increase answers incrementally; a removal forces a full
+     re-solve — both count as applied deltas *)
+  (match Service.session_delta t "s" (Delta.Add_edge { u = 0; v = 1; w = 2 }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Service.session_delta t "s" (Delta.Remove_edge { u = 0; v = 1 }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "deltas applied" 2 (counter "deltas_applied");
+  check_int "one incremental answer" 1 (counter "incremental_hits");
+  check_int "one full resolve" 1 (counter "full_resolves");
+  check_bool "unknown session is Error" true
+    (Result.is_error
+       (Service.session_delta t "nope" (Delta.Add_edge { u = 0; v = 1; w = 1 })));
+  check_int "failed delta not counted" 2 (counter "deltas_applied")
+
+(* A delta chain that returns to a previously-solved structure re-derives
+   the same versioned key, so the solve is served from cache without
+   running — the version-chain hit. *)
+let test_service_version_chain_cache () =
+  let t = service () in
+  let s = Service.session_open t "s" (Generators.grid 4 4) in
+  let solve () =
+    match
+      Service.session_solve t "s" ~algorithm:Api.Exact_small_lambda ~seed:0
+        ~trees:None
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let r0 = solve () in
+  check_bool "cold" false r0.Request.cached;
+  let d = Handle.digest (Api.session_handle s) in
+  (match Service.session_delta t "s" (Delta.Add_edge { u = 0; v = 5; w = 3 }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Service.session_delta t "s" (Delta.Remove_edge { u = 0; v = 5 }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "digest restored" true
+    (Int64.equal d (Handle.digest (Api.session_handle s)));
+  let r1 = solve () in
+  check_bool "version-chain warm hit" true r1.Request.cached;
+  check_string "same versioned key" r0.Request.key r1.Request.key;
+  check_summaries_identical "chain hit bit-identical" r0.Request.summary
+    r1.Request.summary
+
+let test_protocol_parse_sessions () =
+  let is_err s = match Protocol.parse s with Error _ -> true | Ok _ -> false in
+  check_bool "session parses" true
+    (Protocol.parse "SESSION s family=ring size=8"
+    = Ok
+        (Protocol.Session_open
+           {
+             sname = "s";
+             ssource =
+               Protocol.Family
+                 { family = "ring"; size = 8; gseed = 0; weight_max = 1 };
+           }));
+  check_bool "session needs a source" true (is_err "SESSION s");
+  check_bool "session rejects two sources" true
+    (is_err "SESSION s graph=a family=ring");
+  check_bool "delta parses" true
+    (Protocol.parse "DELTA s add 0 1 2"
+    = Ok
+        (Protocol.Delta_op
+           { sname = "s"; dop = Delta.Add_edge { u = 0; v = 1; w = 2 } }));
+  check_bool "delta split parses" true
+    (Protocol.parse "DELTA s split 3 2 1,4"
+    = Ok
+        (Protocol.Delta_op
+           { sname = "s"; dop = Delta.Split_node { v = 3; w = 2; moved = [ 1; 4 ] } }));
+  check_bool "delta rejects a bad verb" true (is_err "DELTA s frobnicate 1 2");
+  check_bool "delta needs an op" true (is_err "DELTA s");
+  check_bool "compact parses" true
+    (Protocol.parse "COMPACT s" = Ok (Protocol.Compact "s"));
+  check_bool "compact wants exactly one name" true (is_err "COMPACT a b");
+  check_bool "solve takes session= as a source" true
+    (match Protocol.parse "SOLVE session=s" with
+    | Ok (Protocol.Solve { source = Protocol.Session "s"; _ }) -> true
+    | _ -> false);
+  check_bool "solve rejects session+graph" true (is_err "SOLVE session=s graph=a")
+
+let hash_field line =
+  match List.find_opt (has_prefix ~prefix:"hash=") (String.split_on_char ' ' line) with
+  | Some tok -> tok
+  | None -> Alcotest.fail ("no hash= field in: " ^ line)
+
+let test_server_incremental_session () =
+  let io, collected =
+    scripted_io
+      [
+        "GRAPH tri 3 3";
+        "0 1 1";
+        "1 2 1";
+        "0 2 1";
+        "SESSION s graph=tri";
+        "DELTA s add 0 1 1";
+        "SOLVE session=s";
+        "SOLVE session=s";
+        "DELTA s remove 0 2";
+        "SOLVE session=s";
+        "COMPACT s";
+        "SOLVE session=s";
+        "DELTA nope add 0 1 1";
+        "QUIT";
+      ]
+  in
+  let reason = Server.run (service ()) io in
+  check_bool "quit reason" true (reason = Server.Quit);
+  match collected () with
+  | [ graph_ok; session_ok; d1; s1; s2; d2; s3; compact_ok; s4; err; bye ] ->
+      check_bool "graph registered" true (has_prefix ~prefix:"OK graph tri" graph_ok);
+      check_bool "session opened at the snapshot" true
+        (has_prefix ~prefix:"OK session s n=3 channels=3 lambda=2" session_ok);
+      (* a weight increase keeps λ=2 and answers incrementally *)
+      check_bool "delta answers λ" true
+        (has_prefix ~prefix:"OK delta s version=1 lambda=2" d1
+        && contains ~sub:"mode=" d1);
+      check_bool "cold session solve" true
+        (has_prefix ~prefix:"OK value=2" s1 && contains ~sub:"cached=false" s1);
+      check_bool "anchored repeat is warm" true
+        (has_prefix ~prefix:"OK value=2" s2 && contains ~sub:"cached=true" s2);
+      (* a removal drops λ to 1 and forces the full-re-solve tier *)
+      check_bool "removal resolves from scratch" true
+        (has_prefix ~prefix:"OK delta s version=2 lambda=1 mode=resolved" d2);
+      check_bool "post-removal solve is fresh" true
+        (has_prefix ~prefix:"OK value=1" s3 && contains ~sub:"cached=false" s3);
+      check_bool "compact reports the surviving version" true
+        (has_prefix ~prefix:"OK compact s version=2" compact_ok);
+      check_string "compaction preserves the digest" (hash_field d2)
+        (hash_field compact_ok);
+      check_bool "solve after compact still cached" true
+        (has_prefix ~prefix:"OK value=1" s4 && contains ~sub:"cached=true" s4);
+      check_bool "unknown session is ERR" true (has_prefix ~prefix:"ERR" err);
+      check_string "bye" "BYE" bye
+  | lines ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected response count %d: %s" (List.length lines)
+           (String.concat " | " lines))
+
 (* ---- qcheck properties ----------------------------------------------- *)
 
 let qcheck_tests =
@@ -563,5 +759,11 @@ let suite =
     tc "server: submit/flush protocol" test_server_submit_flush;
     tc "server: malformed GRAPH payload drained" test_server_graph_payload_drained;
     tc "protocol: parse errors" test_protocol_parse_errors;
+    tc "service: expired requests shed at flush" test_service_flush_sheds_expired;
+    tc "server: SHED lines in FLUSH" test_server_flush_shed_line;
+    tc "service: session metrics accounting" test_service_session_metrics;
+    tc "service: version-chain cache hit" test_service_version_chain_cache;
+    tc "protocol: SESSION/DELTA/COMPACT parse" test_protocol_parse_sessions;
+    tc "server: scripted incremental session" test_server_incremental_session;
   ]
   @ qcheck_tests
