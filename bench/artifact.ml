@@ -1,0 +1,45 @@
+(* Durable bench artifacts.
+
+   Every bench emits a BENCH_*.json, and several also gate — [failwith]
+   on a regression.  Before this module, a gate that fired ahead of the
+   artifact write (delta's stream-rejection checks, sim's driver and
+   pool gates) exited with the JSON never written, so CI kept the
+   failure but lost the evidence.  Two invariants, audited here once
+   instead of per bench:
+
+   - [write] brackets the output channel ([Fun.protect]), so an
+     mid-write exception cannot leak the descriptor — the same rule
+     [Resguard] enforces statically on lib/ and bin/;
+   - [guard] wraps a bench body and hands it the artifact emitter; if
+     the body dies before emitting, a minimal [{ bench; error }] record
+     is written to the same path and the exception re-raised, so the
+     run still fails loudly but the artifact upload step has a file
+     explaining why. *)
+
+module Json = Mincut_util.Json
+
+let write path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
+
+let guard ~path ~bench f =
+  let emitted = ref false in
+  let emit json =
+    write path json;
+    emitted := true
+  in
+  match f emit with
+  | v -> v
+  | exception e when not !emitted ->
+      let bt = Printexc.get_raw_backtrace () in
+      write path
+        (Json.Obj
+           [
+             ("bench", Json.String bench);
+             ("error", Json.String (Printexc.to_string e));
+           ]);
+      Printexc.raise_with_backtrace e bt

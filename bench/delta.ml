@@ -30,7 +30,12 @@ module Incremental = Mincut_core.Incremental
 
 let speedup_floor = 5.0
 
+(* the whole bench runs under [Artifact.guard]: the stream-rejection
+   failwiths fire before the artifact is assembled, and a run they kill
+   must still leave a BENCH_delta.json explaining itself *)
 let run () =
+  Artifact.guard ~path:"BENCH_delta.json" ~bench:"delta-stream"
+  @@ fun emit ->
   let quick = !Sim.quick in
   let nops = if quick then 1_000 else 10_000 in
   let sample_every = if quick then 8 else 16 in
@@ -107,10 +112,7 @@ let run () =
       ]
   in
   let path = "BENCH_delta.json" in
-  let oc = open_out path in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  emit json;
   Printf.printf
     "delta stream: %d ops in %.1f ms (%.0f answers/s), naive %.3f ms/solve \
      (%.0f answers/s), speedup %.1fx, tiers reused=%d cert=%d full=%d \

@@ -350,7 +350,12 @@ let phase_profile (wname, g) =
              s.Api.cost.Cost.spans) );
     ]
 
+(* every sim gate (driver audits, allocation budget, pool reuse, store
+   ladder, rss) fires before the end-of-run writes, so the whole bench
+   runs under [Artifact.guard] *)
 let run () =
+  Artifact.guard ~path:"BENCH_sim.json" ~bench:"sim"
+  @@ fun emit ->
   let iters = if !quick then 500 else 20_000 in
   let solves = if !quick then 4 else 16 in
   Printf.printf "sim: engine drivers (%d iterations each)\n%!" iters;
@@ -372,17 +377,11 @@ let run () =
         ("phase_profiles", Json.List (List.map phase_profile (workloads ())));
       ]
   in
-  let write path json =
-    let oc = open_out path in
-    output_string oc (Json.to_string json);
-    output_char oc '\n';
-    close_out oc
-  in
   let path = "BENCH_sim.json" in
-  write path json;
+  emit json;
   (* the ladder section also stands alone, so CI can upload it as its
      own artifact without dragging the engine microbenchmarks along *)
-  write "BENCH_sim_ladder.json" ladder;
+  Artifact.write "BENCH_sim_ladder.json" ladder;
   Printf.printf
     "wrote %s and BENCH_sim_ladder.json (gnp24 flat-vs-reference speedup: \
      %.2fx)\n%!"

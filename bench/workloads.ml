@@ -95,6 +95,8 @@ let identical (a : Api.summary) (b : Api.summary) =
    beat.  Headline figures: cold vs warm per-query latency (the ≥10×
    memoization claim) and batched cold throughput on the worker pool. *)
 let serve_throughput () =
+  Artifact.guard ~path:"BENCH_serve.json" ~bench:"serve-throughput"
+  @@ fun emit ->
   let service = Serve.create () in
   let zoo = serve_zoo () in
   let queries = List.length zoo in
@@ -155,10 +157,7 @@ let serve_throughput () =
       ]
   in
   let path = "BENCH_serve.json" in
-  let oc = open_out path in
-  output_string oc (Serve_json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  emit json;
   Printf.printf
     "serve throughput: %d queries, cold %.1f ms (%.2f ms/q), warm %.2f ms \
      (%.4f ms/q), speedup %.0fx, batch(cold,%d workers) %.1f ms, identical=%b\n"

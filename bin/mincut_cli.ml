@@ -570,9 +570,11 @@ let serve_cmd =
     | None -> ()
     | Some path ->
         let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-        output_string oc (Metrics.to_json_line (Service.metrics service));
-        output_char oc '\n';
-        close_out oc);
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Metrics.to_json_line (Service.metrics service));
+            output_char oc '\n'));
     result
   in
   Cmd.v

@@ -30,6 +30,8 @@ open Cmdliner
 module Lint = Mincut_analysis.Lint
 module Astlint = Mincut_analysis.Astlint
 module Allocheck = Mincut_analysis.Allocheck
+module Exnflow = Mincut_analysis.Exnflow
+module Resguard = Mincut_analysis.Resguard
 module Replay = Mincut_analysis.Replay
 module Certify = Mincut_analysis.Certify
 module Lockcheck = Mincut_analysis.Lockcheck
@@ -339,6 +341,15 @@ let report_ast_human (r : Astlint.report) findings unused =
         (if List.length t.Allocheck.sites = 1 then "" else "s")
         t.Allocheck.budget)
     r.Astlint.alloc_targets;
+  Format.printf "ast: exnflow: %d defs raise;%s@."
+    r.Astlint.exn_summary.Exnflow.defs_raising
+    (String.concat ""
+       (List.map
+          (fun (p, n) -> Printf.sprintf " %s(%d)" p n)
+          r.Astlint.exn_summary.Exnflow.policies));
+  Format.printf "ast: resguard: %d/%d acquisitions bracketed@."
+    r.Astlint.resource_summary.Resguard.bracketed
+    r.Astlint.resource_summary.Resguard.acquisitions_checked;
   let nf = List.length findings in
   if nf = 0 then Format.printf "mincut_lint ast: clean@."
   else Format.printf "mincut_lint ast: %d finding%s@." nf (if nf = 1 then "" else "s")
@@ -363,7 +374,12 @@ let run_ast paths allow_file json inject =
           Printf.eprintf "mincut_lint ast: allowlist: %s\n" e;
           2
       | Ok allow -> (
+          (* wall-time of the analyzers themselves (parse + call graph +
+             every pass), printed so lint-job runtime creep is visible *)
+          let t0 = Unix.gettimeofday () in
+          let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000.0 in
           let finish r =
+            let elapsed_ms = elapsed_ms () in
             let raw = Astlint.findings r in
             let findings = Lint.Allow.filter allow raw in
             let unused = Lint.Allow.unused allow raw in
@@ -375,6 +391,7 @@ let run_ast paths allow_file json inject =
                        Json.Obj
                          (fields
                          @ [
+                             ("elapsed_ms", Json.Float elapsed_ms);
                              ( "allow_unused",
                                Json.List
                                  (List.map (fun s -> Json.String s) unused) );
@@ -383,7 +400,10 @@ let run_ast paths allow_file json inject =
                                  (if findings = [] then "clean" else "dirty") );
                            ])
                    | other -> other))
-            else report_ast_human r findings unused;
+            else begin
+              report_ast_human r findings unused;
+              Format.printf "ast: analyzers ran in %.0f ms@." elapsed_ms
+            end;
             findings
           in
           match inject with
@@ -430,16 +450,17 @@ let ast_cmd =
   in
   let inject_arg =
     let doc =
-      "Append one deliberately defective pseudo-module (nondet, alloc or \
-       race) before analysis; exits 1 if the matching analyzer catches it, \
-       3 if it does not — proving the analyzers are live."
+      "Append one deliberately defective pseudo-module (nondet, alloc, race, \
+       exnleak or fdleak) before analysis; exits 1 if the matching analyzer \
+       catches it, 3 if it does not — proving the analyzers are live."
     in
     Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SEED" ~doc)
   in
   let doc =
     "AST analysis tier: parses every .ml with the compiler's parser and runs \
      the call-graph analyzers (effect classes, allocation budgets, static \
-     domain races) plus scope-aware ports of the token rules"
+     domain races, exception boundaries, resource brackets) plus scope-aware \
+     ports of the token rules"
   in
   Cmd.v
     (Cmd.info "ast" ~doc)

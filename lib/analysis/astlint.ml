@@ -10,11 +10,12 @@
      sources so neither can drift.
    - the whole-repo analyzers: [Effects.check] (step-effect),
      [Allocheck.check] (alloc-budget), [Domcheck.check] (domain-race),
+     [Exnflow.check] (exn-escape), [Resguard.check] (resource-leak),
      all sharing one call graph.
-   - [inject_seeds]: three self-contained defective pseudo-modules
-     (nondet / alloc / race), parsed and appended to the real sources so
-     CI can prove each analyzer still bites.  A checker that cannot fail
-     is not checking anything. *)
+   - [inject_seeds]: self-contained defective pseudo-modules (nondet /
+     alloc / race / exnleak / fdleak), parsed and appended to the real
+     sources so CI can prove each analyzer still bites.  A checker that
+     cannot fail is not checking anything. *)
 
 module Json = Mincut_util.Json
 
@@ -33,6 +34,13 @@ let rules =
       ( "domain-race",
         "top-level mutable state reachable from a Pool task without \
          Lockcheck.with_lock or Atomic" );
+      ( "exn-escape",
+        "an exception can cross a declared boundary: escape the serve \
+         dispatch or a pool domain body, or carry Store_error out of the \
+         store layer" );
+      ( "resource-leak",
+        "a descriptor acquisition with no Fun.protect bracket or ownership \
+         transfer on some path" );
     ]
 
 let known_rule r = List.exists (fun (name, _) -> name = r) rules
@@ -201,6 +209,10 @@ type report = {
   alloc_targets : Allocheck.target list;
   alloc_findings : Lint.finding list;
   race_findings : Lint.finding list;
+  exn_summary : Exnflow.summary;
+  exn_findings : Lint.finding list;
+  resource_summary : Resguard.summary;
+  resource_findings : Lint.finding list;
 }
 
 let effect_census cg =
@@ -222,6 +234,8 @@ let effect_census cg =
 let analyze ?budgets (sources, parse_errors) =
   let cg = Callgraph.build sources in
   let alloc_targets, alloc_findings = Allocheck.check ?budgets cg in
+  let exn_summary, exn_findings = Exnflow.check cg in
+  let resource_summary, resource_findings = Resguard.check cg in
   {
     files = List.map (fun (s : Srcread.source) -> s.Srcread.file) sources;
     parse_errors;
@@ -232,6 +246,10 @@ let analyze ?budgets (sources, parse_errors) =
     alloc_targets;
     alloc_findings;
     race_findings = Domcheck.check cg;
+    exn_summary;
+    exn_findings;
+    resource_summary;
+    resource_findings;
   }
 
 let run ?budgets paths = analyze ?budgets (Srcread.load_paths paths)
@@ -251,6 +269,7 @@ let findings r =
   in
   List.map of_error r.parse_errors
   @ r.hazard_findings @ r.effect_findings @ r.alloc_findings @ r.race_findings
+  @ r.exn_findings @ r.resource_findings
   |> List.sort Lint.compare_findings
 
 let to_json r =
@@ -287,6 +306,19 @@ let to_json r =
       ( "effect_classes",
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.effect_classes) );
       ("alloc_targets", Json.List (List.map target_json r.alloc_targets));
+      ( "exn_boundaries",
+        Json.Obj
+          (("defs_raising", Json.Int r.exn_summary.Exnflow.defs_raising)
+          :: List.map
+               (fun (p, n) -> (p, Json.Int n))
+               r.exn_summary.Exnflow.policies) );
+      ( "resource_safety",
+        Json.Obj
+          [
+            ( "acquisitions",
+              Json.Int r.resource_summary.Resguard.acquisitions_checked );
+            ("bracketed", Json.Int r.resource_summary.Resguard.bracketed);
+          ] );
       ( "findings",
         match Lint.to_json (findings r) with
         | Json.Obj fields ->
@@ -299,7 +331,7 @@ let to_json r =
 
 (* Each seed is a self-contained module that parses cleanly, triggers
    exactly one analyzer, and touches nothing else in the repo.  CI runs
-   all three: an analyzer that stops firing on its seed has rotted. *)
+   every seed: an analyzer that stops firing on its seed has rotted. *)
 
 let nondet_seed =
   {|
@@ -338,11 +370,30 @@ let record_hit x = hits := !hits + x
 let tally xs = Mincut_parallel.Pool.map (fun x -> record_hit x) xs
 |}
 
+let exnleak_seed =
+  {|
+let risky_lookup table key = Hashtbl.find table key
+
+let dispatch table key = risky_lookup table key [@@mincut.boundary "serve-total"]
+|}
+
+let fdleak_seed =
+  {|
+let slurp path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  body
+|}
+
 let inject_seeds =
   [
     ("nondet", ("inject_nondet.ml", nondet_seed, "step-effect"));
     ("alloc", ("inject_alloc.ml", alloc_seed, "alloc-budget"));
     ("race", ("inject_race.ml", race_seed, "domain-race"));
+    ("exnleak", ("inject_exnleak.ml", exnleak_seed, "exn-escape"));
+    ("fdleak", ("inject_fdleak.ml", fdleak_seed, "resource-leak"));
   ]
 
 let expected_rule seed =

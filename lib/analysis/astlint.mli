@@ -3,12 +3,14 @@
     Orchestrates the Parsetree analyzers over one shared parse and call
     graph: scope-aware ports of every token rule ({!hazards}),
     {!Effects.check} ([step-effect]), {!Allocheck.check}
-    ([alloc-budget]) and {!Domcheck.check} ([domain-race]), plus
-    [parse-error] findings for sources only the token fallback covers.
+    ([alloc-budget]), {!Domcheck.check} ([domain-race]),
+    {!Exnflow.check} ([exn-escape]) and {!Resguard.check}
+    ([resource-leak]), plus [parse-error] findings for sources only the
+    token fallback covers.
     {!agreement} pins the token and AST implementations of the shared
     rules to the same (rule, line) answers on parseable sources, and
-    {!inject_seeds} carries three self-contained defective modules CI
-    injects to prove each analyzer still fires. *)
+    {!inject_seeds} carries self-contained defective modules CI injects
+    to prove each analyzer still fires. *)
 
 val rules : (string * string) list
 (** Token rules plus the AST-only rules; the rule vocabulary of the
@@ -36,6 +38,10 @@ type report = {
   alloc_targets : Allocheck.target list;
   alloc_findings : Lint.finding list;
   race_findings : Lint.finding list;
+  exn_summary : Exnflow.summary;
+  exn_findings : Lint.finding list;
+  resource_summary : Resguard.summary;
+  resource_findings : Lint.finding list;
 }
 
 val analyze :
@@ -52,8 +58,9 @@ val findings : report -> Lint.finding list
 val to_json : report -> Mincut_util.Json.t
 
 val inject_seeds : (string * (string * string * string)) list
-(** [seed → (pseudo-file, source, expected rule)] for the three CI
-    defect injections: ["nondet"], ["alloc"], ["race"]. *)
+(** [seed → (pseudo-file, source, expected rule)] for the CI defect
+    injections: ["nondet"], ["alloc"], ["race"], ["exnleak"],
+    ["fdleak"]. *)
 
 val expected_rule : string -> string option
 

@@ -57,6 +57,8 @@ type def = {
   mutates : bool;
   programs : (int * Parsetree.expression) list;  (* (line, step field body) *)
   effect_annot : string option;
+  raises_annot : string option;  (* [[@mincut.raises "A,B"]]; "" pins empty *)
+  boundary_annot : string option;  (* [[@mincut.boundary "<policy>"]] *)
   body : Parsetree.expression;  (* for downstream walks (Allocheck) *)
 }
 
@@ -71,10 +73,11 @@ type t = {
 
 let split_path = String.split_on_char '.'
 
-let effect_attr (attrs : Parsetree.attributes) =
+(* the string payload of a [[@<attr> "<s>"]] annotation, if present *)
+let string_attr attr (attrs : Parsetree.attributes) =
   List.find_map
     (fun (a : Parsetree.attribute) ->
-      if a.attr_name.txt <> "mincut.effect" then None
+      if a.attr_name.txt <> attr then None
       else
         match a.attr_payload with
         | Parsetree.PStr
@@ -90,6 +93,8 @@ let effect_attr (attrs : Parsetree.attributes) =
             Some s
         | _ -> None)
     attrs
+
+let effect_attr = string_attr "mincut.effect"
 
 let rec arity_of (e : Parsetree.expression) =
   match e.pexp_desc with
@@ -253,6 +258,8 @@ let collect_source (s : Srcread.source) ~add_def ~add_global =
                 mutates;
                 programs;
                 effect_annot = effect_attr vb.pvb_attributes;
+                raises_annot = string_attr "mincut.raises" vb.pvb_attributes;
+                boundary_annot = string_attr "mincut.boundary" vb.pvb_attributes;
                 body = vb.pvb_expr;
               }
             in

@@ -40,6 +40,12 @@ type def = {
   programs : (int * Parsetree.expression) list;
       (** CONGEST program literals: (line, [step] field body) *)
   effect_annot : string option;
+  raises_annot : string option;
+      (** [[@mincut.raises "A,B"]] pin: the complete raise set of the
+          binding, overriding inference; [""] pins the empty set. *)
+  boundary_annot : string option;
+      (** [[@mincut.boundary "<policy>"]]: the binding is a root of the
+          named {!Exnflow} boundary policy. *)
   body : Parsetree.expression;
 }
 

@@ -1,0 +1,18 @@
+(** Resource-safety bracket analysis (rule [resource-leak]).
+
+    Every descriptor acquisition ([open_in*]/[open_out*],
+    [Unix.openfile]/[socket]/[accept], [Filename.open_temp_file]) must
+    be let-bound and either bracketed — a bound name appears in the
+    [~finally] of a [Fun.protect] in the binding's continuation — or
+    ownership-transferred into a longer-lived structure ([<-], [:=],
+    [Hashtbl.add]/[replace]) whose owner releases it.  Unbound
+    acquisitions are always findings.  Findings land at the acquisition
+    site; defs reachable from an {!Exnflow} boundary root carry the
+    witness chain from the root. *)
+
+type summary = {
+  acquisitions_checked : int;
+  bracketed : int;  (** released on all paths (bracket or transfer) *)
+}
+
+val check : Callgraph.t -> summary * Lint.finding list

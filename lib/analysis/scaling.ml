@@ -199,6 +199,10 @@ let store_sample ?(params = Params.default) ?(scratch = default_scratch)
       let budget = max 1 (total / 4) in
       match Store.Chunked_graph.open_store ?instruments ~dir ~budget () with
       | Error e -> Error e
+      (* the residency loader faults chunks lazily, so [Store_error] is
+         the store's to raise and this layer's to consume (the exnflow
+         store-typed boundary) *)
+      | exception Store.Chunked_graph.Store_error e -> Error e
       | Ok cg -> (
           match
             let b = Store.Traverse.bfs cg ~root:0 in

@@ -84,9 +84,11 @@ let parse_string ~file src =
 
 let parse_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string ~file:path src
 
 (* same traversal policy as the token tier: skip _build and dotdirs *)

@@ -222,13 +222,12 @@ let ensure_helpers r wanted =
   let wanted = min wanted max_helpers in
   Mutex.lock r.lock;
   while r.nhelpers < wanted do
+    (* capture the installed runtime directly: re-reading [runtime_cell]
+       inside the domain body would put an assert on the worker's first
+       instruction, and an exception there kills the domain silently *)
     let d =
       Domain.spawn (fun () ->
           Domain.DLS.set in_worker true;
-          let r = match Atomic.get runtime_cell with
-            | Some r -> r
-            | None -> assert false
-          in
           Mutex.lock r.lock;
           helper_serve r 0)
     in

@@ -127,8 +127,12 @@ let handle_command session cmd =
       io.write_line "BYE";
       Some Shutdown
   | Protocol.Stats ->
-      io.write_line
-        ("STATS " ^ Json.to_string (Metrics.to_json (Service.snapshot session.service)));
+      (match
+         "STATS "
+         ^ Json.to_string (Metrics.to_json (Service.snapshot session.service))
+       with
+      | line -> io.write_line line
+      | exception e -> err session "stats failed: %s" (Printexc.to_string e));
       None
   | Protocol.Graph_def { name; n; m } ->
       (match read_graph_def session ~name ~n ~m with
@@ -152,6 +156,7 @@ let handle_command session cmd =
   | Protocol.Solve args ->
       (match request_of_args session args with
       | Error e -> err session "%s" e
+      | exception e -> err session "solve failed: %s" (Printexc.to_string e)
       | Ok req -> (
           match Service.solve session.service req with
           | resp -> io.write_line ("OK " ^ Protocol.format_response resp)
@@ -160,6 +165,7 @@ let handle_command session cmd =
   | Protocol.Estimate { esource; eseed; etrials } ->
       (match resolve_source session esource with
       | Error e -> err session "%s" e
+      | exception e -> err session "estimate failed: %s" (Printexc.to_string e)
       | Ok g -> (
           match Service.estimate session.service ~seed:eseed ?trials:etrials g with
           | r, elapsed_ms ->
@@ -169,28 +175,36 @@ let handle_command session cmd =
   | Protocol.Submit args ->
       (match request_of_args session args with
       | Error e -> err session "%s" e
-      | Ok req ->
-          let ticket = Service.submit session.service req in
-          Hashtbl.replace session.tickets ticket ();
-          io.write_line (Printf.sprintf "QUEUED %d" ticket));
+      | exception e -> err session "submit failed: %s" (Printexc.to_string e)
+      | Ok req -> (
+          match Service.submit session.service req with
+          | ticket ->
+              Hashtbl.replace session.tickets ticket ();
+              io.write_line (Printf.sprintf "QUEUED %d" ticket)
+          | exception e ->
+              err session "submit failed: %s" (Printexc.to_string e)));
       None
   | Protocol.Session_open { sname; ssource } ->
       (match resolve_source session ssource with
       | Error e -> err session "SESSION %s: %s" sname e
+      | exception e ->
+          err session "SESSION %s: %s" sname (Printexc.to_string e)
       | Ok g -> (
-          match Service.session_open session.service sname g with
-          | s ->
-              let h = Api.session_handle s in
-              io.write_line
-                (Printf.sprintf "OK session %s n=%d channels=%d lambda=%d hash=%s"
-                   sname (Handle.n h) (Handle.channels h) (Api.session_lambda s)
-                   (Hash.to_hex (Handle.digest h)))
+          match
+            let s = Service.session_open session.service sname g in
+            let h = Api.session_handle s in
+            Printf.sprintf "OK session %s n=%d channels=%d lambda=%d hash=%s"
+              sname (Handle.n h) (Handle.channels h) (Api.session_lambda s)
+              (Hash.to_hex (Handle.digest h))
+          with
+          | line -> io.write_line line
           | exception e ->
               err session "SESSION %s: %s" sname (Printexc.to_string e)));
       None
   | Protocol.Delta_op { sname; dop } ->
       (match Service.session_delta session.service sname dop with
       | Error e -> err session "DELTA %s: %s" sname e
+      | exception e -> err session "DELTA %s: %s" sname (Printexc.to_string e)
       | Ok (s, outcome, answer) ->
           let h = Api.session_handle s in
           io.write_line
@@ -204,6 +218,7 @@ let handle_command session cmd =
   | Protocol.Compact sname ->
       (match Service.session_compact session.service sname with
       | Error e -> err session "COMPACT %s: %s" sname e
+      | exception e -> err session "COMPACT %s: %s" sname (Printexc.to_string e)
       | Ok s ->
           let h = Api.session_handle s in
           io.write_line

@@ -67,8 +67,9 @@ let print t =
       (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
       let path = Filename.concat dir (slug t.title ^ ".csv") in
       let oc = open_out path in
-      output_string oc (to_csv t);
-      close_out oc
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (to_csv t))
 
 let fmt_float x =
   if Float.is_integer x && abs_float x < 1e15 then Printf.sprintf "%.0f" x

@@ -7,6 +7,8 @@ module Srcread = Mincut_analysis.Srcread
 module Callgraph = Mincut_analysis.Callgraph
 module Effects = Mincut_analysis.Effects
 module Allocheck = Mincut_analysis.Allocheck
+module Exnflow = Mincut_analysis.Exnflow
+module Resguard = Mincut_analysis.Resguard
 module Astlint = Mincut_analysis.Astlint
 module Stats = Mincut_util.Stats
 
@@ -298,6 +300,171 @@ let p =
   | [ t ] -> check_int "error-path printf is free" 0 (List.length t.Allocheck.sites)
   | ts -> Alcotest.failf "expected 1 target, got %d" (List.length ts)
 
+(* ---- exception flow ----------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let exn_check src = Exnflow.check (Callgraph.build [ parse src ])
+
+let test_exnflow_boundary_leak () =
+  let _, findings =
+    exn_check
+      {|
+let risky table key = Hashtbl.find table key
+
+let dispatch table key = risky table key [@@mincut.boundary "serve-total"]
+|}
+  in
+  match findings with
+  | [ f ] ->
+      check_bool "rule" true (f.Lint.rule = "exn-escape");
+      check_bool "file" true (f.Lint.file = "fixture.ml");
+      (* the finding lands on the intrinsic Hashtbl.find, not the boundary *)
+      check_int "line" 2 f.Lint.line;
+      check_bool "names the exception" true
+        (contains ~sub:"Not_found" f.Lint.message);
+      check_bool "witness chain root-to-leaf" true
+        (contains ~sub:"Fixture.dispatch -> Fixture.risky" f.Lint.message)
+  | fs -> Alcotest.failf "expected 1 exn finding, got %d" (List.length fs)
+
+let test_exnflow_handlers_subtract () =
+  let _, by_try =
+    exn_check
+      {|
+let risky table key = try Hashtbl.find table key with Not_found -> 0
+
+let dispatch table key = risky table key [@@mincut.boundary "serve-total"]
+|}
+  in
+  check_int "try subtracts" 0 (List.length by_try);
+  let _, by_match =
+    exn_check
+      {|
+let risky table key =
+  match Hashtbl.find table key with
+  | v -> v
+  | exception Not_found -> 0
+
+let dispatch table key = risky table key [@@mincut.boundary "serve-total"]
+|}
+  in
+  check_int "match-exception subtracts" 0 (List.length by_match);
+  (* a guarded handler proves nothing: the guard may decline *)
+  let _, guarded =
+    exn_check
+      {|
+let risky table key =
+  try Hashtbl.find table key with Not_found when key > 0 -> 0
+
+let dispatch table key = risky table key [@@mincut.boundary "serve-total"]
+|}
+  in
+  check_int "guarded handler does not subtract" 1 (List.length guarded)
+
+let test_exnflow_pins () =
+  (* an empty pin discharges the inferred raise *)
+  let _, silenced =
+    exn_check
+      {|
+let risky table key = Hashtbl.find table key [@@mincut.raises ""]
+
+let dispatch table key = risky table key [@@mincut.boundary "serve-total"]
+|}
+  in
+  check_int "empty pin silences" 0 (List.length silenced);
+  (* a non-empty pin propagates even when the body raises nothing *)
+  let _, propagated =
+    exn_check
+      {|
+let wait_for_peer () = 0 [@@mincut.raises "Timeout"]
+
+let dispatch () = wait_for_peer () [@@mincut.boundary "serve-total"]
+|}
+  in
+  match propagated with
+  | [ f ] ->
+      check_bool "pinned exn surfaces" true
+        (contains ~sub:"Timeout" f.Lint.message);
+      check_bool "pin provenance" true
+        (contains ~sub:"pinned [@mincut.raises]" f.Lint.message)
+  | fs -> Alcotest.failf "expected 1 pin finding, got %d" (List.length fs)
+
+let test_exnflow_unknown_boundary () =
+  let _, findings =
+    exn_check {|
+let dispatch () = 0 [@@mincut.boundary "serve-partial"]
+|}
+  in
+  match findings with
+  | [ f ] ->
+      check_bool "unknown policy is loud" true
+        (contains ~sub:"unknown [@mincut.boundary" f.Lint.message)
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_exnflow_external_table () =
+  check_bool "Hashtbl.find raises Not_found" true
+    (Exnflow.external_raises "Hashtbl.find" = [ "Not_found" ]);
+  check_bool "gettimeofday is safe" true
+    (Exnflow.external_raises "Unix.gettimeofday" = []);
+  check_bool "openfile raises Unix_error" true
+    (Exnflow.external_raises "Unix.openfile" = [ "Unix_error" ])
+
+(* ---- resource brackets -------------------------------------------------- *)
+
+let res_check src = Resguard.check (Callgraph.build [ parse src ])
+
+let test_resguard_leak () =
+  let _, findings =
+    res_check
+      {|
+let slurp path =
+  let ic = open_in_bin path in
+  really_input_string ic (in_channel_length ic)
+|}
+  in
+  match findings with
+  | [ f ] ->
+      check_bool "rule" true (f.Lint.rule = "resource-leak");
+      check_int "acquisition line" 3 f.Lint.line;
+      check_bool "names the acquisition" true
+        (contains ~sub:"open_in_bin" f.Lint.message)
+  | fs -> Alcotest.failf "expected 1 leak, got %d" (List.length fs)
+
+let test_resguard_unbound_acquisition () =
+  let _, findings = res_check {|
+let peek path = input_line (open_in path)
+|} in
+  check_int "unbound acquisition is a finding" 1 (List.length findings)
+
+let test_resguard_bracket_negative () =
+  let summary, findings =
+    res_check
+      {|
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+|}
+  in
+  check_int "bracketed acquisition is clean" 0 (List.length findings);
+  check_int "checked" 1 summary.Resguard.acquisitions_checked;
+  check_int "bracketed" 1 summary.Resguard.bracketed
+
+let test_resguard_transfer_negative () =
+  let _, findings =
+    res_check
+      {|
+let register tbl path =
+  let ic = open_in_bin path in
+  Hashtbl.replace tbl path ic
+|}
+  in
+  check_int "ownership transfer is clean" 0 (List.length findings)
+
 (* ---- seeded defects ---------------------------------------------------- *)
 
 let test_inject_seeds_fire () =
@@ -321,7 +488,8 @@ let test_inject_seeds_fire () =
 let test_inject_provenance_lines () =
   (* pin the exact defect lines so provenance regressions are loud:
      nondet's clock call is on seed line 5, alloc's program record opens
-     on line 3, race's unguarded write is on line 4 *)
+     on line 3, race's unguarded write is on line 4, exnleak's
+     Hashtbl.find is on line 2, fdleak's open_in_bin is on line 3 *)
   let line_of seed =
     let file, src, rule =
       List.assoc seed Astlint.inject_seeds
@@ -336,7 +504,9 @@ let test_inject_provenance_lines () =
   in
   check_int "nondet line" 5 (line_of "nondet");
   check_int "alloc line" 3 (line_of "alloc");
-  check_int "race line" 4 (line_of "race")
+  check_int "race line" 4 (line_of "race");
+  check_int "exnleak line" 2 (line_of "exnleak");
+  check_int "fdleak line" 3 (line_of "fdleak")
 
 let test_domcheck_respects_guards () =
   let guarded =
@@ -393,6 +563,34 @@ let test_ast_allow_knows_new_rules () =
     | Ok _ -> false
     | Error _ -> true)
 
+let test_ast_allow_stale_entries () =
+  (* the stale-suppression report (`note: unused allowlist entry ...` /
+     JSON [allow_unused]) quotes [Allow.unused]'s raw lines verbatim:
+     prove a matching new-family entry suppresses and a stale one
+     surfaces exactly as written *)
+  let _, findings =
+    exn_check
+      {|
+let risky table key = Hashtbl.find table key
+
+let dispatch table key = risky table key [@@mincut.boundary "serve-total"]
+|}
+  in
+  check_bool "fixture leaks" true (findings <> []);
+  match
+    Lint.Allow.of_lines ~known:Astlint.known_rule
+      [ "exn-escape fixture.ml:2"; "resource-leak lib/gone.ml:9" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok allow -> (
+      check_int "matching entry suppresses" 0
+        (List.length (Lint.Allow.filter allow findings));
+      match Lint.Allow.unused allow findings with
+      | [ raw ] ->
+          check_bool "stale entry quoted verbatim" true
+            (raw = "resource-leak lib/gone.ml:9")
+      | l -> Alcotest.failf "expected 1 stale entry, got %d" (List.length l))
+
 let test_peak_rss () =
   match Stats.peak_rss_kb () with
   | None -> () (* non-procfs platform: the bench records null *)
@@ -411,6 +609,16 @@ let suite =
     test_effects_stable_under_reparse;
     tc "allocheck: counts sites, skips handler lambda" test_allocheck_counts;
     tc "allocheck: error paths are free" test_allocheck_error_path_free;
+    tc "exnflow: boundary leak carries its witness" test_exnflow_boundary_leak;
+    tc "exnflow: try and match-exception subtract" test_exnflow_handlers_subtract;
+    tc "exnflow: raises pins discharge and propagate" test_exnflow_pins;
+    tc "exnflow: unknown boundary policy is a finding"
+      test_exnflow_unknown_boundary;
+    tc "exnflow: curated externals table" test_exnflow_external_table;
+    tc "resguard: unbracketed open leaks" test_resguard_leak;
+    tc "resguard: unbound acquisition leaks" test_resguard_unbound_acquisition;
+    tc "resguard: Fun.protect brackets" test_resguard_bracket_negative;
+    tc "resguard: ownership transfer releases" test_resguard_transfer_negative;
     tc "inject: every seed fires its analyzer" test_inject_seeds_fire;
     tc "inject: provenance lands on the defect line"
       test_inject_provenance_lines;
@@ -418,5 +626,7 @@ let suite =
       test_domcheck_respects_guards;
     tc "parse errors become findings" test_parse_error_finding;
     tc "allowlist: ast rule vocabulary" test_ast_allow_knows_new_rules;
+    tc "allowlist: stale entries surface for deletion"
+      test_ast_allow_stale_entries;
     tc "stats: peak rss readable" test_peak_rss;
   ]

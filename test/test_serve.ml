@@ -732,6 +732,25 @@ let qcheck_tests =
     qtest ~count:40 "canonicalize preserves structure"
       (arbitrary_connected ~max_n:12 ())
       (fun g -> Graph.equal_structure g (Graph_key.canonicalize g));
+    (* the static exception-boundary proof (Exnflow's serve-total policy)
+       starts at [handle_command]; this is the dynamic complement for the
+       layer below it: [parse] must be total on arbitrary bytes, junk
+       after a real verb included, answering Ok or Error but never
+       raising *)
+    qtest ~count:500 "protocol parse is total on random bytes"
+      QCheck2.Gen.(pair (string_size ~gen:char (int_range 0 80)) (int_range 0 6))
+      (fun (junk, pick) ->
+        let line =
+          match pick with
+          | 0 -> junk
+          | 1 -> "SOLVE " ^ junk
+          | 2 -> "GRAPH " ^ junk
+          | 3 -> "SESSION " ^ junk
+          | 4 -> "DELTA " ^ junk
+          | 5 -> "ESTIMATE " ^ junk
+          | _ -> "SUBMIT " ^ junk
+        in
+        match Protocol.parse line with Ok _ | Error _ -> true);
   ]
 
 let suite =
